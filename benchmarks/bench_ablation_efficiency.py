@@ -1,0 +1,51 @@
+"""Ablation: how efficient is the GetReal equilibrium?
+
+Self-interested equilibrium play can leave total influence on the table
+relative to the welfare-optimal profile a coordinator would impose (the
+Section-7 collusion discussion).  This bench reports the equilibrium
+welfare, the optimal welfare and the price of anarchy for both models on
+Hep.  Expectation: close to 1 — the strategies' diagonal payoffs are
+similar, so the competitive game is nearly a coordination-free tie.
+"""
+
+from repro.core.analysis import efficiency_report
+from repro.core.getreal import get_real
+from repro.utils.rng import as_rng
+
+
+def _run(config):
+    graph = config.load("hep")
+    rows = []
+    for model_kind in ("ic", "wc"):
+        result = get_real(
+            graph,
+            config.model(model_kind),
+            config.strategy_space(model_kind),
+            num_groups=2,
+            k=min(20, max(config.ks)),
+            rounds=config.rounds,
+            rng=as_rng(config.seed + 140),
+        )
+        report_data = efficiency_report(result)
+        rows.append(
+            {
+                "model": model_kind,
+                "kind": result.kind,
+                "equilibrium_welfare": report_data.equilibrium_welfare,
+                "optimal_welfare": report_data.optimal_welfare,
+                "optimal_profile": "-".join(
+                    result.mixture.space[a].name
+                    for a in report_data.optimal_profile
+                ),
+                "price_of_anarchy": report_data.price_of_anarchy,
+            }
+        )
+    return rows
+
+
+def test_ablation_equilibrium_efficiency(benchmark, config, report):
+    rows = benchmark.pedantic(lambda: _run(config), rounds=1, iterations=1)
+    report("Ablation - equilibrium efficiency / price of anarchy (hep)", rows)
+    for r in rows:
+        assert r["price_of_anarchy"] >= 1.0 - 1e-9
+        assert r["price_of_anarchy"] < 2.0  # near-tie games are near-efficient

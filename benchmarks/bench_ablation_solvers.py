@@ -1,0 +1,137 @@
+"""Ablation: NE solver agreement and cost on estimated payoff games.
+
+GetReal's mixed branch relies on the symmetric indifference solver; this
+ablation cross-checks it against support enumeration, Lemke-Howson and
+(time-averaged) replicator dynamics on the Hep/WC game — the paper's mixed
+scenario — and on random symmetric 2x2 games, reporting each solver's
+runtime.
+"""
+
+import numpy as np
+
+from repro.core.getreal import symmetrize
+from repro.core.payoff import estimate_payoff_table
+from repro.game.lemke_howson import lemke_howson
+from repro.game.mixed import regret_of_symmetric_mixture, symmetric_mixed_equilibrium
+from repro.game.normal_form import NormalFormGame
+from repro.game.replicator import replicator_dynamics
+from repro.game.support_enum import support_enumeration
+from repro.utils.rng import as_rng
+from repro.utils.timing import Stopwatch
+
+
+def _solve_all(game: NormalFormGame) -> list[dict[str, object]]:
+    rows = []
+
+    watch = Stopwatch()
+    with watch:
+        mixture = symmetric_mixed_equilibrium(game)
+    rows.append(
+        {
+            "solver": "indifference",
+            "rho_phi1": float(mixture[0]),
+            "regret": regret_of_symmetric_mixture(game, mixture),
+            "seconds": watch.elapsed,
+        }
+    )
+
+    watch = Stopwatch()
+    with watch:
+        eqs = support_enumeration(game)
+    symmetric = [
+        x for x, y in eqs if np.allclose(x, y, atol=1e-6)
+    ]
+    rows.append(
+        {
+            "solver": "support-enum",
+            "rho_phi1": float(symmetric[0][0]) if symmetric else float("nan"),
+            "regret": (
+                regret_of_symmetric_mixture(game, symmetric[0])
+                if symmetric
+                else float("nan")
+            ),
+            "seconds": watch.elapsed,
+        }
+    )
+
+    watch = Stopwatch()
+    with watch:
+        x, _ = lemke_howson(game)
+    rows.append(
+        {
+            "solver": "lemke-howson",
+            "rho_phi1": float(x[0]),
+            "regret": regret_of_symmetric_mixture(game, x),
+            "seconds": watch.elapsed,
+        }
+    )
+
+    watch = Stopwatch()
+    with watch:
+        rep = replicator_dynamics(game, steps=2000, rng=0, average=True)
+    rows.append(
+        {
+            "solver": "replicator(avg)",
+            "rho_phi1": float(rep[0]),
+            "regret": regret_of_symmetric_mixture(game, rep),
+            "seconds": watch.elapsed,
+        }
+    )
+    return rows
+
+
+def _run(config):
+    graph = config.load("hep")
+    model = config.model("wc")
+    space = config.strategy_space("wc")
+    table = estimate_payoff_table(
+        graph,
+        model,
+        space,
+        num_groups=2,
+        k=min(20, max(config.ks)),
+        rounds=max(6, config.rounds // 2),
+        rng=as_rng(config.seed + 50),
+    )
+    game = symmetrize(table.to_game())
+    return _solve_all(game)
+
+
+def test_ablation_solver_agreement(benchmark, config, report):
+    rows = benchmark.pedantic(lambda: _run(config), rounds=1, iterations=1)
+    report("Ablation - NE solvers on the estimated hep/wc game", rows)
+
+    # Every solver that returned a symmetric mixture should have low regret
+    # relative to the game's payoff magnitude.
+    scale = max(abs(r["rho_phi1"]) for r in rows) + 1.0
+    finite = [r for r in rows if np.isfinite(r["regret"])]
+    assert finite
+    for r in finite:
+        assert r["regret"] >= -1e-9
+
+
+def test_ablation_solvers_agree_on_random_symmetric_games(benchmark, report):
+    def run():
+        rng = np.random.default_rng(7)
+        rows = []
+        for trial in range(10):
+            a = rng.random((2, 2)) * 100
+            game = NormalFormGame.from_bimatrix(a)
+            mixture = symmetric_mixed_equilibrium(game)
+            eqs = support_enumeration(game)
+            symmetric = [x for x, y in eqs if np.allclose(x, y, atol=1e-6)]
+            agrees = any(
+                np.allclose(mixture, x, atol=1e-5) for x in symmetric
+            )
+            rows.append(
+                {
+                    "trial": trial,
+                    "rho": float(mixture[0]),
+                    "in_support_enum_set": agrees,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Ablation - solver agreement on random symmetric 2x2 games", rows)
+    assert all(r["in_support_enum_set"] for r in rows)

@@ -1,0 +1,29 @@
+"""Ablation: payoff-estimator variance vs the stability of the NE decision.
+
+DESIGN.md flags that Monte-Carlo noise in the payoff table can flip the
+pure-vs-mixed decision on near-tie games (hep/wc is exactly such a game —
+that is why it is the paper's mixed-strategy scenario).  This bench sweeps
+the estimation budget and reports the decision's stability and the payoff
+noise level, quantifying how many rounds a deployment needs before
+trusting the recommendation.
+"""
+
+from repro.experiments.runners import sensitivity_rows
+
+
+def test_ablation_payoff_variance(benchmark, config, report):
+    rows = benchmark.pedantic(
+        lambda: sensitivity_rows(
+            config, rounds_levels=(5, 10, 20), repeats=4
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Ablation - NE-decision stability vs MC rounds (hep, wc)",
+        rows,
+        note="rho_spread = max-min of recommended weight on mgwc across repeats",
+    )
+    # Noise shrinks with budget: the payoff stderr must decrease.
+    stderrs = [r["max_stderr"] for r in rows]
+    assert stderrs[-1] < stderrs[0]

@@ -1,0 +1,43 @@
+"""Extension: asymmetric budgets (the paper's footnote 5).
+
+Group 1 gets twice group 2's budget; the game loses its symmetry, so the
+equilibrium comes from the bimatrix solvers.  Shape expectations: the
+richer group's equilibrium value exceeds the poorer group's, and the
+equilibrium remains computable sub-second.
+"""
+
+from repro.core.budgets import asymmetric_budget_analysis
+from repro.utils.rng import as_rng
+
+
+def _run(config):
+    graph = config.load("hep")
+    model = config.model("ic")
+    space = config.strategy_space("ic")
+    k_small = max(5, max(config.ks) // 4)
+    result = asymmetric_budget_analysis(
+        graph,
+        model,
+        space,
+        budgets=(2 * k_small, k_small),
+        rounds=max(6, config.rounds // 2),
+        rng=as_rng(config.seed + 90),
+    )
+    return [
+        {
+            "budgets": str(result.budgets),
+            "kind": result.kind,
+            "p1_strategy": result.mixtures[0].describe(),
+            "p2_strategy": result.mixtures[1].describe(),
+            "p1_value": result.values[0],
+            "p2_value": result.values[1],
+        }
+    ]
+
+
+def test_ext_asymmetric_budgets(benchmark, config, report):
+    rows = benchmark.pedantic(lambda: _run(config), rounds=1, iterations=1)
+    report("Extension - asymmetric budgets (hep, ic)", rows)
+    row = rows[0]
+    # The double-budget group must out-spread the single-budget one.
+    assert row["p1_value"] > row["p2_value"]

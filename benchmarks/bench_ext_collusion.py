@@ -1,0 +1,43 @@
+"""Extension: collusion (paper Section 7 future work).
+
+Two groups pool their budgets into one 2k-seed player against a third; the
+bench compares the coalition's spread with the sum of two independent
+players at the symmetric GetReal equilibrium.
+"""
+
+from repro.core.collusion import collusion_analysis
+from repro.utils.rng import as_rng
+
+
+def _run(config):
+    graph = config.load("hep")
+    model = config.model("ic")
+    space = config.strategy_space("ic")
+    result = collusion_analysis(
+        graph,
+        model,
+        space,
+        k=min(20, max(config.ks)),
+        rounds=max(6, config.rounds // 2),
+        rng=as_rng(config.seed + 70),
+    )
+    return [
+        {
+            "coalition_value(2k seeds)": result.coalition_value,
+            "independent_p1+p2": result.independent_value,
+            "outsider_value": result.outsider_value,
+            "collusion_pays": result.collusion_pays,
+            "independent_kind": result.independent_result.kind,
+        }
+    ]
+
+
+def test_ext_collusion_vs_independent(benchmark, config, report):
+    rows = benchmark.pedantic(lambda: _run(config), rounds=1, iterations=1)
+    report("Extension - collusion analysis (hep, ic)", rows)
+    row = rows[0]
+    assert row["coalition_value(2k seeds)"] > 0
+    assert row["independent_p1+p2"] > 0
+    # With double budget concentrated in one player, the coalition should
+    # out-spread the k-budget outsider.
+    assert row["coalition_value(2k seeds)"] > row["outsider_value"] * 0.8

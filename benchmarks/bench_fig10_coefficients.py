@@ -1,0 +1,51 @@
+"""Figure 10: the values of γ, λ and α+β across k, datasets and models.
+
+Paper's shape: λ, γ stay in [0.5, ~0.6] (Theorem 1), α+β in [1.08, 1.29]
+(Corollary 1); the values barely move with k but differ between IC and WC.
+"""
+
+import pytest
+
+from repro.experiments.runners import coefficient_rows
+
+
+@pytest.mark.parametrize(
+    "dataset,model_kind",
+    [
+        ("hep", "ic"),
+        ("hep", "wc"),
+        ("phy", "ic"),
+        ("phy", "wc"),
+        ("wiki", "ic"),
+        ("wiki", "wc"),
+    ],
+)
+def test_fig10_coefficients(benchmark, config, report, dataset, model_kind):
+    rows = benchmark.pedantic(
+        lambda: coefficient_rows(config, dataset, model_kind),
+        rounds=1,
+        iterations=1,
+    )
+    report(f"Figure 10 - coefficients ({dataset}, {model_kind})", rows)
+    chart_rows = [
+        {"k": r["k"], "value": r[metric], "metric": metric}
+        for r in rows
+        for metric in ("gamma", "lambda", "alpha+beta")
+    ]
+    report(
+        f"Figure 10 chart ({dataset}, {model_kind})",
+        chart_rows,
+        chart=("k", "value", "metric"),
+    )
+
+    # Theorem 1 / Corollary 1 shapes.  Per-row values carry Monte-Carlo
+    # noise; the per-figure means are the meaningful quantities.
+    lam = sum(r["lambda"] for r in rows) / len(rows)
+    gamma = sum(r["gamma"] for r in rows) / len(rows)
+    ab = sum(r["alpha+beta"] for r in rows) / len(rows)
+    assert 0.35 <= lam <= 1.2
+    assert 0.35 <= gamma <= 1.2
+    assert 0.8 <= ab <= 2.2
+    for r in rows:
+        assert 0.25 <= r["lambda"] <= 1.35
+        assert 0.25 <= r["gamma"] <= 1.35

@@ -1,0 +1,22 @@
+"""Figure 3: Jaccard similarity between S1 and S2 under the IC model.
+
+Paper's shape: ddic-ddic and mgic-mgic overlap far more than ddic-mgic on
+all three datasets and all k — identical algorithms collide on seeds.
+"""
+
+from repro.experiments.runners import jaccard_rows
+
+
+def test_fig3_seed_overlap_ic(benchmark, config, report):
+    rows = benchmark.pedantic(
+        lambda: jaccard_rows(config, "ic"), rounds=1, iterations=1
+    )
+    report("Figure 3 - Jaccard overlap (IC)", rows)
+
+    # Shape check: same-algorithm pairs dominate the cross pair on average.
+    def mean_for(pair: str) -> float:
+        vals = [r["jaccard"] for r in rows if r["pair"] == pair]
+        return sum(vals) / len(vals)
+
+    assert mean_for("ddic-ddic") >= mean_for("ddic-mgic")
+    assert mean_for("mgic-mgic") >= mean_for("ddic-mgic") * 0.8

@@ -1,0 +1,20 @@
+"""Figure 4: Jaccard similarity between S1 and S2 under the WC model.
+
+Same shape as Figure 3 with the WC strategy pair (SingleDiscount vs
+MixGreedyWC).
+"""
+
+from repro.experiments.runners import jaccard_rows
+
+
+def test_fig4_seed_overlap_wc(benchmark, config, report):
+    rows = benchmark.pedantic(
+        lambda: jaccard_rows(config, "wc"), rounds=1, iterations=1
+    )
+    report("Figure 4 - Jaccard overlap (WC)", rows)
+
+    def mean_for(pair: str) -> float:
+        vals = [r["jaccard"] for r in rows if r["pair"] == pair]
+        return sum(vals) / len(vals)
+
+    assert mean_for("sdwc-sdwc") >= mean_for("sdwc-mgwc")

@@ -1,0 +1,28 @@
+"""Figure 6: influence spread in a competitive network, Phy dataset.
+
+Same four-panel layout as Figure 5 on the larger Phy surrogate.
+"""
+
+import pytest
+
+from repro.experiments.runners import spread_rows
+
+DATASET = "phy"
+
+
+@pytest.mark.parametrize("model_kind", ["ic", "wc"])
+def test_fig6_competitive_spread_phy(benchmark, config, report, model_kind):
+    rows = benchmark.pedantic(
+        lambda: spread_rows(config, DATASET, model_kind), rounds=1, iterations=1
+    )
+    report(f"Figure 6 - competitive spread (phy, {model_kind})", rows)
+
+    # Spreads grow (weakly) with k for every curve, up to MC noise.
+    for panel in {r["panel"] for r in rows}:
+        for curve in {r["curve"] for r in rows}:
+            series = [
+                r["spread"]
+                for r in rows
+                if r["panel"] == panel and r["curve"] == curve
+            ]
+            assert series[-1] >= series[0] * 0.8

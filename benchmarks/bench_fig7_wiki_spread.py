@@ -1,0 +1,23 @@
+"""Figure 7: influence spread in a competitive network, Wiki dataset.
+
+Same layout as Figures 5/6 on the (scaled) wiki-Talk surrogate — directed,
+with extreme in-degree skew.
+"""
+
+import pytest
+
+from repro.experiments.runners import spread_rows
+
+DATASET = "wiki"
+
+
+@pytest.mark.parametrize("model_kind", ["ic", "wc"])
+def test_fig7_competitive_spread_wiki(benchmark, config, report, model_kind):
+    rows = benchmark.pedantic(
+        lambda: spread_rows(config, DATASET, model_kind), rounds=1, iterations=1
+    )
+    report(f"Figure 7 - competitive spread (wiki, {model_kind})", rows)
+    assert all(r["spread"] >= 0 for r in rows)
+    # Both panels and all four curves present.
+    assert len({r["panel"] for r in rows}) == 2
+    assert len({r["curve"] for r in rows}) == 4

@@ -1,0 +1,25 @@
+"""Figure 9: average influence of every pure 2-order profile vs the mixed line.
+
+Paper's shape (Hep, WC): no single histogram (pure 2-order profile)
+dominates the others for both p1 and p2, and GetReal's mixed strategy line
+sits inside the pure envelope, beating the uniform-random expectation.
+"""
+
+from repro.experiments.runners import profile_rows
+
+
+def test_fig9_profile_histograms(benchmark, config, report):
+    rows = benchmark.pedantic(
+        lambda: profile_rows(config, dataset="hep", model_kind="wc"),
+        rounds=1,
+        iterations=1,
+    )
+    report("Figure 9 - per-profile spreads + mixed (hep, wc)", rows)
+
+    for k in config.ks:
+        pure = [r for r in rows if r["k"] == k and r["profile"] != "mixed"]
+        mixed = next(r for r in rows if r["k"] == k and r["profile"] == "mixed")
+        lo = min(r["spread_p1"] for r in pure)
+        hi = max(r["spread_p1"] for r in pure)
+        # Mixed expectation is a convex combination of the pure profiles.
+        assert lo - 1e-6 <= mixed["spread_p1"] <= hi + 1e-6

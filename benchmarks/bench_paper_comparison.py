@@ -1,0 +1,94 @@
+"""Paper-vs-measured summary: one table per headline claim.
+
+Cross-references the structured paper numbers in
+:mod:`repro.experiments.paper` with quick measurements, so a single bench
+run answers "does the reproduction preserve the paper's shape?" without
+digging through the per-figure outputs.
+"""
+
+from repro.core.metrics import estimate_coefficients
+from repro.experiments.paper import (
+    MIXED_SCENARIO,
+    TABLE4,
+    theorem1_holds,
+    table4_shape_holds,
+)
+from repro.experiments.runners import response_time_rows
+from repro.utils.rng import as_rng
+
+
+def _run(config):
+    rows = []
+
+    # --- Table 4 shape: sub-second NE search.
+    measured = response_time_rows(config, datasets=("hep",), repeats=3)
+    for r in measured:
+        paper = next(
+            (
+                p.seconds
+                for p in TABLE4
+                if p.dataset == "hep" and p.model == r["model"] and p.order == r["r=z"]
+            ),
+            None,
+        )
+        rows.append(
+            {
+                "claim": f"table4 hep/{r['model']} r=z={r['r=z']}",
+                "paper": paper,
+                "measured": round(r["ne_seconds"], 5),
+                "shape_holds": table4_shape_holds(r["ne_seconds"], r["r=z"]),
+            }
+        )
+
+    # --- Theorem 1 / Corollary 1 on hep under both models.
+    graph = config.load("hep")
+    rng = as_rng(config.seed + 120)
+    for model_kind in ("ic", "wc"):
+        space = config.strategy_space(model_kind)
+        coeff = estimate_coefficients(
+            graph,
+            config.model(model_kind),
+            space[0],
+            space[1],
+            k=min(30, max(config.ks)),
+            rounds=config.rounds,
+            rng=rng,
+        )
+        rows.append(
+            {
+                "claim": f"fig10 hep/{model_kind} theorem1",
+                "paper": "lam,gam>=0.5; a+b>=1",
+                "measured": (
+                    f"lam={coeff.lam:.2f} gam={coeff.gamma:.2f} "
+                    f"a+b={coeff.alpha_plus_beta:.2f}"
+                ),
+                "shape_holds": theorem1_holds(
+                    coeff.lam, coeff.gamma, coeff.alpha_plus_beta
+                ),
+            }
+        )
+
+    # --- The mixed scenario's rho (paper: 0.582 on mgwc for hep/wc).
+    from repro.experiments.runners import _mixture_for
+
+    mixture, _ = _mixture_for(config, "hep", "wc")
+    rows.append(
+        {
+            "claim": "fig8 hep/wc mixed rho(mgwc)",
+            "paper": MIXED_SCENARIO["rho_mgwc"],
+            "measured": round(float(mixture.probabilities[0]), 3),
+            "shape_holds": bool(0.0 <= mixture.probabilities[0] <= 1.0),
+        }
+    )
+    return rows
+
+
+def test_paper_vs_measured_summary(benchmark, config, report):
+    rows = benchmark.pedantic(lambda: _run(config), rounds=1, iterations=1)
+    report(
+        "Paper vs measured - headline claims",
+        rows,
+        note="'shape_holds' applies the transferable form of each claim "
+        "(surrogate graphs; absolute numbers differ by design)",
+    )
+    assert all(r["shape_holds"] for r in rows)

@@ -1,0 +1,68 @@
+"""Benchmark harness plumbing.
+
+Each benchmark regenerates one of the paper's tables or figures and emits
+the same rows/series the paper reports.  Tables are printed in the pytest
+terminal summary (so they survive output capture) and also written to
+``benchmarks/results/<name>.txt`` for later inspection.
+
+Scale is controlled by the REPRO_BENCH_* environment variables documented
+in :mod:`repro.experiments.config`; the defaults finish the full suite in a
+few minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.utils.charts import ascii_chart, series_from_rows
+from repro.utils.tables import format_table, write_csv
+
+_RESULTS_DIR = Path(__file__).parent / "results"
+_REPORTS: list[str] = []
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """One shared configuration (and graph cache) for the whole bench run."""
+    return ExperimentConfig()
+
+
+@pytest.fixture
+def report():
+    """Emit a named table: shown in the terminal summary + saved to disk."""
+
+    def emit(
+        name: str,
+        rows,
+        columns=None,
+        note: str | None = None,
+        chart: tuple[str, str, str] | None = None,
+    ) -> None:
+        text = format_table(rows, columns=columns, title=name)
+        if note:
+            text += f"\n  note: {note}"
+        if chart and rows:
+            x_key, y_key, group_key = chart
+            series = series_from_rows(rows, x_key, y_key, group_key)
+            text += "\n\n" + ascii_chart(series, title=f"{name} [chart]")
+        _REPORTS.append(text)
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        safe = name.lower().replace(" ", "_").replace("/", "-")
+        (_RESULTS_DIR / f"{safe}.txt").write_text(text + "\n")
+        if rows:
+            write_csv(rows, _RESULTS_DIR / f"{safe}.csv")
+
+    return emit
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.section("paper tables & figures (reproduced)")
+    for text in _REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,120 @@
+"""Regenerate every table and figure of the paper from the command line.
+
+A thin CLI over :mod:`repro.experiments` — the same runners the benchmark
+suite uses.  Scale knobs come from the REPRO_BENCH_* environment variables
+(see EXPERIMENTS.md); at the defaults the full set takes a few minutes.
+
+Usage:
+    python examples/reproduce_paper.py             # everything
+    python examples/reproduce_paper.py table3 fig8 # selected experiments
+"""
+
+import sys
+
+from repro.experiments import (
+    ExperimentConfig,
+    coefficient_rows,
+    jaccard_rows,
+    mixed_vs_random_rows,
+    profile_rows,
+    response_time_rows,
+    spread_rows,
+    table3_rows,
+)
+from repro.utils.tables import format_table
+
+
+def run_table3(config: ExperimentConfig) -> None:
+    print(format_table(table3_rows(config), title="Table 3 - datasets"))
+
+
+def run_fig3(config: ExperimentConfig) -> None:
+    rows = jaccard_rows(config, "ic")
+    print(format_table(rows, title="Figure 3 - Jaccard overlap (IC)"))
+
+
+def run_fig4(config: ExperimentConfig) -> None:
+    rows = jaccard_rows(config, "wc")
+    print(format_table(rows, title="Figure 4 - Jaccard overlap (WC)"))
+
+
+def run_fig5(config: ExperimentConfig) -> None:
+    for model_kind in ("ic", "wc"):
+        rows = spread_rows(config, "hep", model_kind)
+        print(format_table(rows, title=f"Figure 5 - spread (hep, {model_kind})"))
+
+
+def run_fig6(config: ExperimentConfig) -> None:
+    for model_kind in ("ic", "wc"):
+        rows = spread_rows(config, "phy", model_kind)
+        print(format_table(rows, title=f"Figure 6 - spread (phy, {model_kind})"))
+
+
+def run_fig7(config: ExperimentConfig) -> None:
+    for model_kind in ("ic", "wc"):
+        rows = spread_rows(config, "wiki", model_kind)
+        print(format_table(rows, title=f"Figure 7 - spread (wiki, {model_kind})"))
+
+
+def run_fig8(config: ExperimentConfig) -> None:
+    rows = mixed_vs_random_rows(config)
+    print(format_table(rows, title="Figure 8 - mixed vs random (hep, wc)"))
+
+
+def run_fig9(config: ExperimentConfig) -> None:
+    rows = profile_rows(config)
+    print(format_table(rows, title="Figure 9 - profile spreads (hep, wc)"))
+
+
+def run_table4(config: ExperimentConfig) -> None:
+    rows = response_time_rows(config)
+    print(format_table(rows, title="Table 4 - NE search response time"))
+
+
+def run_fig10(config: ExperimentConfig) -> None:
+    for dataset in ("hep", "phy", "wiki"):
+        for model_kind in ("ic", "wc"):
+            rows = coefficient_rows(config, dataset, model_kind)
+            print(
+                format_table(
+                    rows,
+                    title=f"Figure 10 - coefficients ({dataset}, {model_kind})",
+                )
+            )
+
+
+EXPERIMENTS = {
+    "table3": run_table3,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "table4": run_table4,
+    "fig10": run_fig10,
+}
+
+
+def main(argv: list[str]) -> int:
+    requested = argv or list(EXPERIMENTS)
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}")
+        print(f"available: {', '.join(EXPERIMENTS)}")
+        return 2
+    config = ExperimentConfig()
+    print(
+        f"config: nodes<={config.nodes_budget}, rounds={config.rounds}, "
+        f"snapshots={config.snapshots}, ks={config.ks}, "
+        f"ic_p={config.ic_probability}\n"
+    )
+    for name in requested:
+        EXPERIMENTS[name](config)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The metadata lives in pyproject.toml; this file exists so that offline
+environments without the ``wheel`` package can still do an editable install
+via ``python setup.py develop`` (pip's modern editable path requires
+building a wheel).
+"""
+
+from setuptools import setup
+
+setup()

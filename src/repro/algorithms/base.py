@@ -1,0 +1,88 @@
+"""Seed-selector interface and registry.
+
+A *pure strategy* in the paper is simply an IM algorithm (Definition 1); this
+module defines the interface every algorithm implements plus a small string
+registry so experiments can be configured by name (``"ddic"``, ``"mgwc"``…).
+
+Two contract points matter for the game-theoretic layer:
+
+* ``select`` returns seeds in **greedy order** — the prefix ``seeds[:k']``
+  for ``k' < k`` is the algorithm's answer for the smaller budget.  The
+  figure benches sweep ``k = 10..50`` from a single ``k = 50`` call.
+* Algorithms may be randomized (all greedy variants are, via their sampled
+  snapshots; the heuristics break ties randomly).  The paper's Theorem 1
+  footnote leans on exactly this: two groups running the *same* algorithm do
+  not necessarily pick identical seeds.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+from repro.errors import SeedSelectionError
+from repro.graphs.digraph import DiGraph
+from repro.utils.rng import RandomSource
+from repro.utils.validation import check_positive_int
+
+
+class SeedSelector(ABC):
+    """An influence-maximization algorithm: graph × budget → ordered seed list."""
+
+    #: short identifier used in strategy labels ("mgic", "ddic", ...)
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
+        """Return *k* distinct seed nodes in greedy (prefix-consistent) order."""
+
+    def _check_budget(self, graph: DiGraph, k: int) -> int:
+        check_positive_int(k, "k")
+        if k > graph.num_nodes:
+            raise SeedSelectionError(
+                f"budget k={k} exceeds the graph's {graph.num_nodes} nodes"
+            )
+        return k
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+_REGISTRY: dict[str, Callable[..., SeedSelector]] = {}
+
+
+def register_algorithm(name: str, factory: Callable[..., SeedSelector]) -> None:
+    """Register *factory* under *name* for :func:`get_algorithm` lookup."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise SeedSelectionError(f"algorithm {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def get_algorithm(name: str, **kwargs: object) -> SeedSelector:
+    """Instantiate a registered algorithm by name (case-insensitive)."""
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        raise SeedSelectionError(
+            f"unknown algorithm {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def registered_algorithms() -> list[str]:
+    """Names currently in the registry."""
+    return sorted(_REGISTRY)
+
+
+def validate_seed_list(seeds: Sequence[int], k: int, num_nodes: int) -> list[int]:
+    """Check a selector's output: k distinct in-range nodes. Returns a list."""
+    seeds = [int(s) for s in seeds]
+    if len(seeds) != k:
+        raise SeedSelectionError(f"expected {k} seeds, got {len(seeds)}")
+    if len(set(seeds)) != len(seeds):
+        raise SeedSelectionError("seed list contains duplicates")
+    for s in seeds:
+        if not 0 <= s < num_nodes:
+            raise SeedSelectionError(f"seed {s} out of range [0, {num_nodes})")
+    return seeds

@@ -1,0 +1,125 @@
+"""Live-edge snapshots and the spread oracle built on them.
+
+Under any triggering model (IC, WC, LT), the expected influence spread of a
+seed set equals its expected reachability over random live-edge subgraphs
+(Kempe et al.'s possible-world equivalence).  MixGreedy — the ``NewGreedy``
+improvement of Chen, Wang & Yang (KDD'09) combined with CELF — exploits this
+by sampling the subgraphs once and evaluating every candidate seed against
+the same sample, which both slashes simulation cost and removes evaluation
+noise between candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cascade.base import CascadeModel
+from repro.errors import CascadeError
+from repro.graphs.digraph import DiGraph
+from repro.utils.rng import RandomSource, as_rng
+
+
+def sample_snapshots(
+    graph: DiGraph,
+    model: CascadeModel,
+    count: int,
+    rng: RandomSource = None,
+) -> list[np.ndarray]:
+    """Draw *count* independent live-edge masks from *model* on *graph*."""
+    if count <= 0:
+        raise CascadeError(f"snapshot count must be positive, got {count}")
+    generator = as_rng(rng)
+    return [model.sample_live_mask(graph, generator) for _ in range(count)]
+
+
+class SnapshotOracle:
+    """Estimates spreads by reachability over a fixed set of live-edge masks.
+
+    The oracle supports the incremental pattern greedy algorithms need:
+    :meth:`reach` materializes the per-snapshot reached sets of the current
+    seed set, and :meth:`marginal_gain` counts only *newly* reachable nodes,
+    stopping its BFS at already-reached nodes (in a live-edge world,
+    everything reachable from a reached node is itself already reached).
+    """
+
+    def __init__(self, graph: DiGraph, masks: Sequence[np.ndarray]):
+        if not masks:
+            raise CascadeError("at least one snapshot mask is required")
+        for mask in masks:
+            if mask.shape != (graph.num_edges,):
+                raise CascadeError(
+                    f"mask shape {mask.shape} does not match edge count "
+                    f"{graph.num_edges}"
+                )
+        self.graph = graph
+        self.masks = list(masks)
+
+    @property
+    def num_snapshots(self) -> int:
+        return len(self.masks)
+
+    def spread(self, seeds: Sequence[int]) -> float:
+        """Average number of nodes reachable from *seeds* over all snapshots."""
+        total = 0
+        for mask in self.masks:
+            total += int(self.graph.reachable_from(seeds, mask).sum())
+        return total / len(self.masks)
+
+    def reach(self, seeds: Sequence[int]) -> list[np.ndarray]:
+        """Per-snapshot boolean reached arrays for *seeds*."""
+        return [self.graph.reachable_from(seeds, mask) for mask in self.masks]
+
+    def extend_reach(self, reached: list[np.ndarray], new_seed: int) -> None:
+        """Mutate *reached* in place to include everything reachable from *new_seed*."""
+        for mask, already in zip(self.masks, reached):
+            self._absorb(mask, new_seed, already)
+
+    def marginal_gain(self, candidate: int, reached: list[np.ndarray]) -> float:
+        """Average count of nodes newly reached by adding *candidate*."""
+        total = 0
+        for mask, already in zip(self.masks, reached):
+            total += self._count_new(mask, candidate, already)
+        return total / len(self.masks)
+
+    # ------------------------------------------------------------------ #
+
+    def _count_new(self, mask: np.ndarray, start: int, reached: np.ndarray) -> int:
+        """Nodes reachable from *start* that are not in *reached* (no mutation)."""
+        if reached[start]:
+            return 0
+        graph = self.graph
+        visited = {int(start)}
+        stack = [int(start)]
+        count = 0
+        while stack:
+            u = stack.pop()
+            count += 1
+            lo, hi = graph.out_indptr[u], graph.out_indptr[u + 1]
+            nbrs = graph.out_indices[lo:hi]
+            live = mask[graph.out_edge_ids(u)]
+            for v in nbrs[live]:
+                v = int(v)
+                if v not in visited and not reached[v]:
+                    visited.add(v)
+                    stack.append(v)
+        return count
+
+    def _absorb(self, mask: np.ndarray, start: int, reached: np.ndarray) -> None:
+        """Mark everything reachable from *start* in *reached* (mutates)."""
+        if reached[start]:
+            return
+        graph = self.graph
+        reached[start] = True
+        stack = [int(start)]
+        while stack:
+            u = stack.pop()
+            lo, hi = graph.out_indptr[u], graph.out_indptr[u + 1]
+            nbrs = graph.out_indices[lo:hi]
+            live = mask[graph.out_edge_ids(u)]
+            for v in nbrs[live]:
+                v = int(v)
+                if not reached[v]:
+                    reached[v] = True
+                    stack.append(v)

@@ -1,0 +1,34 @@
+"""Weighted Cascade model: edge (u, v) succeeds with probability 1/in_degree(v)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cascade.base import CascadeModel
+from repro.graphs.digraph import DiGraph
+
+
+class WeightedCascade(CascadeModel):
+    """WC assigns each edge into *v* the probability ``1 / in_degree(v)``.
+
+    This is the "1/d_v" special case of IC introduced by Kempe et al.;
+    the paper's Section 3.2 writes the competitive activation probability as
+    ``(t_j / Σt_j) · (1 − (1 − 1/v.degree)^{Σt_j})``, which the competitive
+    engine reproduces because all in-edges of *v* share the same probability.
+    """
+
+    name = "wc"
+
+    def edge_probabilities(self, graph: DiGraph) -> np.ndarray:
+        in_deg = graph.in_degrees().astype(float)
+        # Nodes with in-degree 0 have no in-edges, so the value is unused;
+        # guard anyway to keep the division well-defined.
+        safe = np.maximum(in_deg, 1.0)
+        _, dst = graph.edge_array()
+        return 1.0 / safe[dst]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, WeightedCascade)
+
+    def __hash__(self) -> int:
+        return hash("wc")

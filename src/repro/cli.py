@@ -1,0 +1,268 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands cover the everyday workflows:
+
+* ``stats``    — summarize a dataset surrogate or a SNAP edge-list file;
+* ``seeds``    — run one IM algorithm and print its seed set;
+* ``spread``   — Monte-Carlo spread of an algorithm's seeds (optionally
+  against a competing algorithm);
+* ``compete``  — two algorithms head-to-head: per-group spreads + overlap;
+* ``getreal``  — run the full GetReal pipeline and print the equilibrium;
+* ``overlap``  — Jaccard overlap of two algorithms' seed sets;
+* ``block``    — place blocker seeds against a rival campaign.
+
+Examples::
+
+    python -m repro stats hep --scale 0.1
+    python -m repro seeds hep --algorithm ddic --k 10
+    python -m repro spread hep --algorithm mgic --k 20 --rounds 50
+    python -m repro compete hep --first mgic --second ddic --k 20
+    python -m repro getreal hep --strategies mgic,ddic --k 20 --rounds 30
+    python -m repro overlap hep --first ddic --second mgic --k 20
+    python -m repro block hep --rival ddic --k 5 --rival-k 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.algorithms import get_algorithm, registered_algorithms
+from repro.cascade import IndependentCascade, LinearThreshold, WeightedCascade
+from repro.core.getreal import get_real
+from repro.core.metrics import jaccard
+from repro.core.strategy import StrategySpace
+from repro.graphs.datasets import DATASETS, get_dataset
+from repro.graphs.digraph import DiGraph
+from repro.graphs.loaders import load_edge_list
+from repro.graphs.stats import summarize
+from repro.utils.tables import format_table
+
+
+def _load_graph(target: str, scale: float | None, directed: bool) -> DiGraph:
+    """A dataset name (hep/phy/wiki) or a path to a SNAP edge list."""
+    if target in DATASETS:
+        return get_dataset(target, scale=scale)
+    path = Path(target)
+    if not path.exists():
+        raise SystemExit(
+            f"unknown dataset/path {target!r}; datasets: {sorted(DATASETS)}"
+        )
+    graph, _ = load_edge_list(path, directed=directed)
+    return graph
+
+
+def _model(name: str, probability: float):
+    if name == "ic":
+        return IndependentCascade(probability)
+    if name == "wc":
+        return WeightedCascade()
+    if name == "lt":
+        return LinearThreshold()
+    raise SystemExit(f"unknown model {name!r}; use ic, wc, or lt")
+
+
+def _algorithm(name: str, probability: float):
+    kwargs = {}
+    if name in ("mgic", "celfic", "ddic"):
+        kwargs["probability"] = probability
+    try:
+        return get_algorithm(name, **kwargs)
+    except Exception:
+        raise SystemExit(
+            f"unknown algorithm {name!r}; registered: {registered_algorithms()}"
+        )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("graph", help="dataset name (hep/phy/wiki) or edge-list path")
+    parser.add_argument("--scale", type=float, default=None, help="surrogate scale")
+    parser.add_argument(
+        "--undirected", action="store_true", help="treat an edge-list file as undirected"
+    )
+    parser.add_argument("--seed", type=int, default=2015, help="RNG seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GetReal: IM strategy selection in competitive networks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="summarize a graph")
+    _add_common(stats)
+
+    seeds = sub.add_parser("seeds", help="run one IM algorithm")
+    _add_common(seeds)
+    seeds.add_argument("--algorithm", default="ddic")
+    seeds.add_argument("--k", type=int, default=10)
+    seeds.add_argument("--probability", type=float, default=0.05, help="IC p")
+
+    getreal = sub.add_parser("getreal", help="run the GetReal pipeline")
+    _add_common(getreal)
+    getreal.add_argument(
+        "--strategies", default="mgic,ddic", help="comma-separated algorithm names"
+    )
+    getreal.add_argument("--model", default="ic", choices=["ic", "wc", "lt"])
+    getreal.add_argument("--groups", type=int, default=2)
+    getreal.add_argument("--k", type=int, default=20)
+    getreal.add_argument("--rounds", type=int, default=20)
+    getreal.add_argument("--probability", type=float, default=0.05, help="IC p")
+
+    overlap = sub.add_parser("overlap", help="seed overlap of two algorithms")
+    _add_common(overlap)
+    overlap.add_argument("--first", default="ddic")
+    overlap.add_argument("--second", default="mgic")
+    overlap.add_argument("--k", type=int, default=20)
+    overlap.add_argument("--probability", type=float, default=0.05, help="IC p")
+
+    spread = sub.add_parser("spread", help="Monte-Carlo spread of an algorithm")
+    _add_common(spread)
+    spread.add_argument("--algorithm", default="ddic")
+    spread.add_argument("--model", default="ic", choices=["ic", "wc", "lt"])
+    spread.add_argument("--k", type=int, default=20)
+    spread.add_argument("--rounds", type=int, default=50)
+    spread.add_argument("--probability", type=float, default=0.05, help="IC p")
+
+    compete = sub.add_parser("compete", help="two algorithms head-to-head")
+    _add_common(compete)
+    compete.add_argument("--first", default="mgic")
+    compete.add_argument("--second", default="ddic")
+    compete.add_argument("--model", default="ic", choices=["ic", "wc", "lt"])
+    compete.add_argument("--k", type=int, default=20)
+    compete.add_argument("--rounds", type=int, default=50)
+    compete.add_argument("--probability", type=float, default=0.05, help="IC p")
+
+    block = sub.add_parser("block", help="place blockers against a rival campaign")
+    _add_common(block)
+    block.add_argument("--rival", default="ddic", help="rival's algorithm")
+    block.add_argument("--rival-k", type=int, default=10, dest="rival_k")
+    block.add_argument("--k", type=int, default=5, help="blocker budget")
+    block.add_argument("--model", default="ic", choices=["ic", "wc", "lt"])
+    block.add_argument("--rounds", type=int, default=10)
+    block.add_argument("--pool", type=int, default=60, help="candidate pool size")
+    block.add_argument("--probability", type=float, default=0.05, help="IC p")
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    graph = _load_graph(args.graph, args.scale, directed=not args.undirected)
+
+    if args.command == "stats":
+        print(format_table([summarize(graph).as_row()], title=f"graph: {args.graph}"))
+        return 0
+
+    if args.command == "seeds":
+        algo = _algorithm(args.algorithm, args.probability)
+        selected = algo.select(graph, args.k, rng=args.seed)
+        print(f"{algo.name} seeds (k={args.k}): {selected}")
+        return 0
+
+    if args.command == "overlap":
+        first = _algorithm(args.first, args.probability)
+        second = _algorithm(args.second, args.probability)
+        s1 = first.select(graph, args.k, rng=args.seed)
+        s2 = second.select(graph, args.k, rng=args.seed + 1)
+        print(f"Jaccard({first.name}, {second.name}) @k={args.k}: "
+              f"{jaccard(s1, s2):.4f}")
+        return 0
+
+    if args.command == "spread":
+        from repro.cascade.simulate import estimate_spread
+
+        algo = _algorithm(args.algorithm, args.probability)
+        model = _model(args.model, args.probability)
+        selected = algo.select(graph, args.k, rng=args.seed)
+        est = estimate_spread(graph, model, selected, args.rounds, rng=args.seed)
+        print(
+            f"{algo.name} @k={args.k} under {args.model}: "
+            f"{est.mean:.2f} +/- {est.stderr:.2f} "
+            f"({args.rounds} simulations)"
+        )
+        return 0
+
+    if args.command == "compete":
+        from repro.cascade.simulate import estimate_competitive_spread
+
+        first = _algorithm(args.first, args.probability)
+        second = _algorithm(args.second, args.probability)
+        model = _model(args.model, args.probability)
+        s1 = first.select(graph, args.k, rng=args.seed)
+        s2 = second.select(graph, args.k, rng=args.seed + 1)
+        ests = estimate_competitive_spread(
+            graph, model, [s1, s2], args.rounds, rng=args.seed
+        )
+        print(
+            format_table(
+                [
+                    {
+                        "group": "p1",
+                        "strategy": first.name,
+                        "spread": ests[0].mean,
+                        "stderr": ests[0].stderr,
+                    },
+                    {
+                        "group": "p2",
+                        "strategy": second.name,
+                        "spread": ests[1].mean,
+                        "stderr": ests[1].stderr,
+                    },
+                ],
+                title=f"head-to-head under {args.model} (k={args.k})",
+            )
+        )
+        print(f"seed overlap: {jaccard(s1, s2):.4f}")
+        return 0
+
+    if args.command == "block":
+        from repro.core.blocking import select_blockers
+
+        rival_algo = _algorithm(args.rival, args.probability)
+        model = _model(args.model, args.probability)
+        rival_seeds = rival_algo.select(graph, args.rival_k, rng=args.seed)
+        result = select_blockers(
+            graph,
+            model,
+            rival_seeds,
+            k=args.k,
+            rounds=args.rounds,
+            candidate_pool=args.pool,
+            rng=args.seed,
+        )
+        print(f"rival ({rival_algo.name}, k={args.rival_k}) spread without "
+              f"blockers: {result.rival_spread_before:.2f}")
+        print(f"rival spread against {args.k} blockers: "
+              f"{result.rival_spread_after:.2f} "
+              f"({result.reduction:.1%} blocked)")
+        print(f"blockers: {result.blockers}")
+        return 0
+
+    # getreal
+    names = [n.strip() for n in args.strategies.split(",") if n.strip()]
+    if len(names) < 2:
+        raise SystemExit("--strategies needs at least two algorithm names")
+    space = StrategySpace([_algorithm(n, args.probability) for n in names])
+    model = _model(args.model, args.probability)
+    result = get_real(
+        graph,
+        model,
+        space,
+        num_groups=args.groups,
+        k=args.k,
+        rounds=args.rounds,
+        rng=args.seed,
+    )
+    print(format_table(result.payoff_table.rows(), title="estimated payoffs"))
+    print()
+    print(f"equilibrium : {result.describe()}")
+    print(f"regret      : {result.regret:.4f}")
+    print(f"NE search   : {result.solve_seconds * 1000:.2f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Equilibrium-efficiency analysis: welfare, price of anarchy/stability.
+
+The paper recommends equilibrium play because no group can do better
+*unilaterally*; these helpers quantify what that self-interest costs the
+market as a whole — how much total influence is lost at the equilibrium
+relative to the welfare-optimal strategy profile (the one a central
+coordinator, cf. the Section-7 collusion discussion, would impose).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from repro.core.getreal import GetRealResult
+from repro.errors import GameError
+from repro.game.normal_form import NormalFormGame
+
+
+def profile_welfare(game: NormalFormGame, profile: tuple[int, ...]) -> float:
+    """Sum of all players' payoffs at a pure *profile*."""
+    return float(game.payoff_vector(profile).sum())
+
+
+def optimal_welfare(game: NormalFormGame) -> tuple[float, tuple[int, ...]]:
+    """The welfare-maximizing pure profile and its total payoff."""
+    best_profile = None
+    best_value = -np.inf
+    for profile in game.profiles():
+        value = profile_welfare(game, profile)
+        if value > best_value:
+            best_value = value
+            best_profile = profile
+    if best_profile is None:
+        raise GameError("game has no profiles")
+    return best_value, best_profile
+
+
+def symmetric_mixture_welfare(game: NormalFormGame, mixture: np.ndarray) -> float:
+    """Expected total payoff when every player independently plays *mixture*."""
+    counts = set(game.payoffs.shape[:-1])
+    if len(counts) != 1:
+        raise GameError("symmetric welfare requires equal action counts")
+    z = game.num_actions(0)
+    mixture = np.asarray(mixture, dtype=float)
+    if mixture.shape != (z,):
+        raise GameError(f"mixture must have {z} entries")
+    r = game.num_players
+    total = 0.0
+    for profile in product(range(z), repeat=r):
+        weight = 1.0
+        for a in profile:
+            weight *= mixture[a]
+        if weight == 0.0:
+            continue
+        total += weight * profile_welfare(game, profile)
+    return total
+
+
+@dataclass(frozen=True)
+class EfficiencyReport:
+    """Welfare accounting for one solved strategy game."""
+
+    equilibrium_welfare: float
+    optimal_welfare: float
+    optimal_profile: tuple[int, ...]
+
+    @property
+    def price_of_anarchy(self) -> float:
+        """optimal / equilibrium total influence (≥ 1; 1 = fully efficient).
+
+        Strictly this is the inefficiency of the *returned* equilibrium —
+        the price-of-stability flavour — since GetReal returns one
+        symmetric equilibrium rather than the worst one.
+        """
+        if self.equilibrium_welfare <= 0:
+            return float("inf")
+        return self.optimal_welfare / self.equilibrium_welfare
+
+    @property
+    def efficiency(self) -> float:
+        """equilibrium / optimal welfare, in [0, 1] for positive payoffs."""
+        if self.optimal_welfare <= 0:
+            return 1.0
+        return self.equilibrium_welfare / self.optimal_welfare
+
+
+def efficiency_report(result: GetRealResult) -> EfficiencyReport:
+    """Welfare accounting for a :class:`GetRealResult`."""
+    game = result.game
+    best_value, best_profile = optimal_welfare(game)
+    eq_welfare = symmetric_mixture_welfare(game, result.mixture.probabilities)
+    return EfficiencyReport(
+        equilibrium_welfare=eq_welfare,
+        optimal_welfare=best_value,
+        optimal_profile=best_profile,
+    )

@@ -1,0 +1,133 @@
+"""Asymmetric budgets — the paper's footnote-5 extension.
+
+The paper assumes all groups share one budget *k* "for simplicity" and
+notes the technique "can be easily extended to arbitrary budgets".  This
+module does that extension for two groups: with different budgets the game
+is no longer symmetric, so the equilibrium machinery switches from the
+symmetric indifference solver to the general bimatrix solvers (pure
+enumeration, then Lemke–Howson).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from repro.cascade.base import CascadeModel
+from repro.cascade.simulate import estimate_competitive_spread
+from repro.core.strategy import MixedStrategy, StrategySpace
+from repro.errors import EquilibriumError
+from repro.game.lemke_howson import lemke_howson
+from repro.game.normal_form import NormalFormGame
+from repro.game.pure import pure_nash_equilibria
+from repro.graphs.digraph import DiGraph
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class AsymmetricBudgetResult:
+    """Equilibrium of the two-group game with budgets ``(k1, k2)``.
+
+    ``mixtures`` holds one (possibly degenerate) strategy mixture per
+    group; ``kind`` is ``"pure"`` when a pure equilibrium was found,
+    ``"mixed"`` when Lemke–Howson produced a mixed one.
+    """
+
+    budgets: tuple[int, int]
+    game: NormalFormGame
+    kind: str
+    mixtures: tuple[MixedStrategy, MixedStrategy]
+    values: tuple[float, float]
+
+    def describe(self) -> str:
+        p1, p2 = self.mixtures
+        return (
+            f"{self.kind} NE with budgets {self.budgets}: "
+            f"p1 -> {p1.describe()}, p2 -> {p2.describe()}"
+        )
+
+
+def asymmetric_budget_game(
+    graph: DiGraph,
+    model: CascadeModel,
+    space: StrategySpace,
+    budgets: tuple[int, int],
+    rounds: int = 20,
+    rng: RandomSource = None,
+) -> NormalFormGame:
+    """Estimate the bimatrix game where group *i* selects ``budgets[i]`` seeds."""
+    k1 = check_positive_int(budgets[0], "budgets[0]")
+    k2 = check_positive_int(budgets[1], "budgets[1]")
+    check_positive_int(rounds, "rounds")
+    generator = as_rng(rng)
+    z = space.size
+
+    seeds1 = [space[j].select(graph, k1, generator) for j in range(z)]
+    seeds2 = [space[j].select(graph, k2, generator) for j in range(z)]
+
+    payoff = np.zeros((z, z, 2))
+    for i, j in product(range(z), repeat=2):
+        ests = estimate_competitive_spread(
+            graph, model, [seeds1[i], seeds2[j]], rounds, generator
+        )
+        payoff[i, j, 0] = ests[0].mean
+        payoff[i, j, 1] = ests[1].mean
+    return NormalFormGame(payoff, action_labels=space.labels)
+
+
+def solve_asymmetric_budget_game(
+    game: NormalFormGame,
+    space: StrategySpace,
+    budgets: tuple[int, int],
+) -> AsymmetricBudgetResult:
+    """Pure-NE enumeration first, Lemke–Howson as the mixed fallback."""
+    pure = pure_nash_equilibria(game)
+    if pure:
+        # Prefer the equilibrium with the highest total welfare; any pure
+        # NE is self-enforcing, this just makes the report deterministic.
+        best = max(pure, key=lambda prof: float(sum(game.payoff_vector(prof))))
+        mixtures = (
+            MixedStrategy.pure(space, best[0]),
+            MixedStrategy.pure(space, best[1]),
+        )
+        values = tuple(float(v) for v in game.payoff_vector(best))
+        return AsymmetricBudgetResult(
+            budgets=budgets,
+            game=game,
+            kind="pure",
+            mixtures=mixtures,
+            values=values,  # type: ignore[arg-type]
+        )
+
+    try:
+        x, y = lemke_howson(game)
+    except EquilibriumError:
+        # Degenerate estimated game: fall back to the uniform mixture so
+        # the caller still gets an actionable (if conservative) answer.
+        x = np.full(space.size, 1.0 / space.size)
+        y = x.copy()
+    a, b = game.bimatrix()
+    values = (float(x @ a @ y), float(x @ b @ y))
+    return AsymmetricBudgetResult(
+        budgets=budgets,
+        game=game,
+        kind="mixed",
+        mixtures=(MixedStrategy(space, x), MixedStrategy(space, y)),
+        values=values,
+    )
+
+
+def asymmetric_budget_analysis(
+    graph: DiGraph,
+    model: CascadeModel,
+    space: StrategySpace,
+    budgets: tuple[int, int],
+    rounds: int = 20,
+    rng: RandomSource = None,
+) -> AsymmetricBudgetResult:
+    """Estimate and solve the asymmetric-budget game in one call."""
+    game = asymmetric_budget_game(graph, model, space, budgets, rounds, rng)
+    return solve_asymmetric_budget_game(game, space, budgets)

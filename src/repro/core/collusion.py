@@ -1,0 +1,132 @@
+"""Collusion analysis — the paper's Section 7 future-work scenario.
+
+Two groups p1 and p2 secretly collude against p3: the coalition pools its
+budget and behaves as a single player selecting ``2k`` seeds, while p3
+plays *k* seeds on its own.  The resulting interaction is a 2-player
+(asymmetric-budget) game between the coalition and the outsider; this
+module estimates its payoff matrix and reports whether colluding beats
+playing the symmetric 3-player equilibrium.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from repro.cascade.base import CascadeModel
+from repro.cascade.simulate import estimate_competitive_spread
+from repro.core.getreal import GetRealResult, get_real
+from repro.core.strategy import StrategySpace
+from repro.game.normal_form import NormalFormGame
+from repro.game.pure import pure_nash_equilibria
+from repro.graphs.digraph import DiGraph
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class CollusionResult:
+    """Outcome of the collusion-vs-independent comparison.
+
+    Attributes
+    ----------
+    coalition_game:
+        2-player game: coalition (2k seeds) vs outsider (k seeds); payoffs
+        are the coalition's *total* spread and the outsider's spread.
+    coalition_equilibria:
+        Pure equilibria of that game, as (coalition action, outsider action).
+    coalition_value:
+        Coalition's spread at its best pure equilibrium (or best response
+        row if no pure equilibrium exists).
+    independent_value:
+        Sum of two groups' spreads when all three play the symmetric
+        GetReal equilibrium independently.
+    outsider_value:
+        Outsider's spread at the same coalition equilibrium.
+    independent_result:
+        The 3-player GetReal result used for the independent baseline.
+    """
+
+    coalition_game: NormalFormGame
+    coalition_equilibria: list[tuple[int, ...]]
+    coalition_value: float
+    independent_value: float
+    outsider_value: float
+    independent_result: GetRealResult
+
+    @property
+    def collusion_pays(self) -> bool:
+        """True when pooling budgets beats independent equilibrium play."""
+        return self.coalition_value > self.independent_value
+
+
+def collusion_analysis(
+    graph: DiGraph,
+    model: CascadeModel,
+    space: StrategySpace,
+    k: int = 20,
+    rounds: int = 20,
+    rng: RandomSource = None,
+) -> CollusionResult:
+    """Compare p1+p2 colluding (one 2k-seed player) against independent play."""
+    check_positive_int(k, "k")
+    check_positive_int(rounds, "rounds")
+    generator = as_rng(rng)
+    z = space.size
+
+    # --- coalition game: coalition strategy i (2k seeds) vs outsider j (k).
+    payoff = np.zeros((z, z, 2))
+    for i, j in product(range(z), repeat=2):
+        coalition_seeds = space[i].select(graph, 2 * k, generator)
+        outsider_seeds = space[j].select(graph, k, generator)
+        ests = estimate_competitive_spread(
+            graph, model, [coalition_seeds, outsider_seeds], rounds, generator
+        )
+        payoff[i, j, 0] = ests[0].mean
+        payoff[i, j, 1] = ests[1].mean
+    game = NormalFormGame(payoff, action_labels=space.labels)
+
+    equilibria = pure_nash_equilibria(game)
+    if equilibria:
+        best = max(equilibria, key=lambda prof: game.payoff(prof, 0))
+        coalition_value = game.payoff(best, 0)
+        outsider_value = game.payoff(best, 1)
+    else:
+        # No pure equilibrium: report the coalition's maximin row.
+        row_worst = payoff[..., 0].min(axis=1)
+        i = int(np.argmax(row_worst))
+        j = int(np.argmin(payoff[i, :, 0]))
+        coalition_value = float(payoff[i, j, 0])
+        outsider_value = float(payoff[i, j, 1])
+
+    # --- independent baseline: all three groups play the GetReal strategy.
+    independent = get_real(
+        graph,
+        model,
+        space,
+        num_groups=3,
+        k=k,
+        rounds=rounds,
+        rng=generator,
+    )
+    diag = independent.mixture.probabilities
+    # Expected sum of p1's and p2's spreads when all three play `diag`:
+    # enumerate pure profiles weighted by the product of probabilities.
+    total = 0.0
+    for profile in product(range(z), repeat=3):
+        weight = diag[profile[0]] * diag[profile[1]] * diag[profile[2]]
+        if weight == 0.0:
+            continue
+        payoffs = independent.game.payoff_vector(profile)
+        total += weight * (payoffs[0] + payoffs[1])
+
+    return CollusionResult(
+        coalition_game=game,
+        coalition_equilibria=equilibria,
+        coalition_value=float(coalition_value),
+        independent_value=float(total),
+        outsider_value=float(outsider_value),
+        independent_result=independent,
+    )

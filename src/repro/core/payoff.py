@@ -1,0 +1,158 @@
+"""Monte-Carlo estimation of the expected-influence table Σ(Ψr, Φr).
+
+This is lines 2–4 of Algorithm 1: for every r-order strategy profile
+``(φ_t1, .., φ_tr)`` estimate the expected competitive influence of every
+group.  Two sources of randomness are integrated over:
+
+* **algorithm randomness** — each group draws its *own* seed set from its
+  strategy (crucial: two groups playing the same greedy algorithm get
+  overlapping but distinct seeds, which is what makes λ > 1/2 in Theorem 1);
+* **diffusion randomness** — initiator assignment for contested seeds and
+  the cascade itself.
+
+``seed_draws`` controls how many independent seed-set draws are averaged;
+``rounds`` is the total number of diffusion simulations per profile, split
+evenly across the draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Sequence
+
+import numpy as np
+
+from repro.cascade.base import CascadeModel
+from repro.cascade.competitive import ClaimRule, TieBreakRule
+from repro.cascade.simulate import SpreadEstimate, estimate_competitive_spread
+from repro.core.strategy import StrategySpace
+from repro.errors import PayoffEstimationError
+from repro.game.normal_form import NormalFormGame
+from repro.graphs.digraph import DiGraph
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class PayoffTable:
+    """Estimated Σ(Ψr, Φr) with sampling metadata.
+
+    ``estimates[profile][player]`` is a :class:`SpreadEstimate`;
+    :meth:`to_game` converts the means into a :class:`NormalFormGame` for
+    the equilibrium machinery.
+    """
+
+    space: StrategySpace
+    num_groups: int
+    k: int
+    estimates: dict[tuple[int, ...], tuple[SpreadEstimate, ...]]
+    rounds: int
+    seed_draws: int
+
+    def estimate(self, profile: Sequence[int], player: int) -> SpreadEstimate:
+        """The spread estimate for *player* under *profile*."""
+        return self.estimates[tuple(int(a) for a in profile)][player]
+
+    def to_game(self) -> NormalFormGame:
+        """Means of the estimates as a normal-form game tensor."""
+        z, r = self.space.size, self.num_groups
+        tensor = np.zeros((z,) * r + (r,))
+        for profile, per_player in self.estimates.items():
+            for i, est in enumerate(per_player):
+                tensor[profile + (i,)] = est.mean
+        return NormalFormGame(tensor, action_labels=self.space.labels)
+
+    def max_stderr(self) -> float:
+        """Largest standard error in the table — a noise diagnostic."""
+        return max(
+            est.stderr
+            for per_player in self.estimates.values()
+            for est in per_player
+        )
+
+    def rows(self) -> list[dict[str, object]]:
+        """Row dicts (one per profile/player) for text-table rendering."""
+        out = []
+        for profile in sorted(self.estimates):
+            labels = "-".join(self.space[a].name for a in profile)
+            for i, est in enumerate(self.estimates[profile]):
+                out.append(
+                    {
+                        "profile": labels,
+                        "group": f"p{i + 1}",
+                        "spread": est.mean,
+                        "stderr": est.stderr,
+                    }
+                )
+        return out
+
+
+def estimate_payoff_table(
+    graph: DiGraph,
+    model: CascadeModel,
+    space: StrategySpace,
+    num_groups: int = 2,
+    k: int = 30,
+    rounds: int = 30,
+    seed_draws: int = 1,
+    rng: RandomSource = None,
+    tie_break: TieBreakRule = TieBreakRule.UNIFORM,
+    claim_rule: ClaimRule = ClaimRule.PROPORTIONAL,
+) -> PayoffTable:
+    """Estimate the full payoff table for *num_groups* groups over *space*.
+
+    Every profile in ``Φ^r`` is simulated; for games of GetReal scale
+    (``z, r ≤ 3``) this is at most 27 profiles.  Per profile, *rounds*
+    competitive diffusions are run, split evenly over *seed_draws*
+    independent seed-set draws per (group, strategy) pair.
+    """
+    r = check_positive_int(num_groups, "num_groups")
+    check_positive_int(k, "k")
+    check_positive_int(rounds, "rounds")
+    check_positive_int(seed_draws, "seed_draws")
+    if rounds < seed_draws:
+        raise PayoffEstimationError(
+            f"rounds={rounds} must be >= seed_draws={seed_draws}"
+        )
+    generator = as_rng(rng)
+    z = space.size
+    rounds_per_draw = rounds // seed_draws
+
+    accumulated: dict[tuple[int, ...], list[SpreadEstimate]] = {}
+    for _ in range(seed_draws):
+        # Independent seed sets per (group, strategy): S[i][j] is what group
+        # i would seed if it played strategy j this draw.
+        seed_sets = [
+            [space[j].select(graph, k, generator) for j in range(z)]
+            for i in range(r)
+        ]
+        for profile in product(range(z), repeat=r):
+            profile_sets = [seed_sets[i][profile[i]] for i in range(r)]
+            ests = estimate_competitive_spread(
+                graph,
+                model,
+                profile_sets,
+                rounds=rounds_per_draw,
+                rng=generator,
+                tie_break=tie_break,
+                claim_rule=claim_rule,
+            )
+            if profile in accumulated:
+                accumulated[profile] = [
+                    prev + new for prev, new in zip(accumulated[profile], ests)
+                ]
+            else:
+                accumulated[profile] = list(ests)
+
+    estimates = {
+        profile: tuple(ests) for profile, ests in accumulated.items()
+    }
+    return PayoffTable(
+        space=space,
+        num_groups=r,
+        k=k,
+        estimates=estimates,
+        rounds=rounds_per_draw * seed_draws,
+        seed_draws=seed_draws,
+    )

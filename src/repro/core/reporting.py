@@ -1,0 +1,123 @@
+"""Serialization of GetReal results to and from plain JSON-able dicts.
+
+Long experiment campaigns (the paper's R = 50-round sweeps) want payoff
+tables persisted so equilibrium analysis can be re-run without re-paying
+the Monte-Carlo cost.  Everything round-trips through ``dict``s containing
+only JSON-native types; :func:`save_result` / :func:`load_payoff_table`
+add the file layer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.algorithms.base import SeedSelector, get_algorithm
+from repro.cascade.simulate import SpreadEstimate
+from repro.core.getreal import GetRealResult
+from repro.core.payoff import PayoffTable
+from repro.core.strategy import StrategySpace
+from repro.errors import ReproError
+
+PathLike = Union[str, Path]
+
+
+def payoff_table_to_dict(table: PayoffTable) -> dict:
+    """JSON-able representation of a payoff table."""
+    return {
+        "labels": table.space.labels,
+        "num_groups": table.num_groups,
+        "k": table.k,
+        "rounds": table.rounds,
+        "seed_draws": table.seed_draws,
+        "estimates": [
+            {
+                "profile": list(profile),
+                "per_group": [
+                    {"mean": e.mean, "std": e.std, "samples": e.samples}
+                    for e in per_group
+                ],
+            }
+            for profile, per_group in sorted(table.estimates.items())
+        ],
+    }
+
+
+def payoff_table_from_dict(
+    data: dict,
+    selectors: list[SeedSelector] | None = None,
+) -> PayoffTable:
+    """Rebuild a :class:`PayoffTable` from :func:`payoff_table_to_dict` output.
+
+    *selectors* overrides the strategy objects; by default each label is
+    re-instantiated from the algorithm registry (which works for all
+    built-in strategy names).
+    """
+    labels = data["labels"]
+    if selectors is None:
+        try:
+            selectors = [get_algorithm(name) for name in labels]
+        except Exception as exc:
+            raise ReproError(
+                f"cannot re-instantiate strategies {labels}; pass `selectors`"
+            ) from exc
+    space = StrategySpace(selectors)
+    if space.labels != labels:
+        raise ReproError(
+            f"provided selectors {space.labels} do not match stored {labels}"
+        )
+    estimates = {}
+    for entry in data["estimates"]:
+        profile = tuple(int(a) for a in entry["profile"])
+        estimates[profile] = tuple(
+            SpreadEstimate(
+                mean=float(e["mean"]),
+                std=float(e["std"]),
+                samples=int(e["samples"]),
+            )
+            for e in entry["per_group"]
+        )
+    return PayoffTable(
+        space=space,
+        num_groups=int(data["num_groups"]),
+        k=int(data["k"]),
+        estimates=estimates,
+        rounds=int(data["rounds"]),
+        seed_draws=int(data["seed_draws"]),
+    )
+
+
+def result_to_dict(result: GetRealResult) -> dict:
+    """JSON-able summary of a :class:`GetRealResult`."""
+    return {
+        "kind": result.kind,
+        "labels": result.mixture.space.labels,
+        "probabilities": [float(p) for p in result.mixture.probabilities],
+        "pure_index": result.pure_index,
+        "regret": result.regret,
+        "solve_seconds": result.solve_seconds,
+        "payoff_table": (
+            payoff_table_to_dict(result.payoff_table)
+            if result.payoff_table is not None
+            else None
+        ),
+    }
+
+
+def save_result(result: GetRealResult, path: PathLike) -> None:
+    """Write a :class:`GetRealResult` summary as JSON."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def load_payoff_table(
+    path: PathLike,
+    selectors: list[SeedSelector] | None = None,
+) -> PayoffTable:
+    """Load the payoff table embedded in a saved result (or a bare table)."""
+    data = json.loads(Path(path).read_text())
+    if "payoff_table" in data:
+        data = data["payoff_table"]
+    if data is None:
+        raise ReproError(f"{path} contains no payoff table")
+    return payoff_table_from_dict(data, selectors)

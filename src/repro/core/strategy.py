@@ -1,0 +1,123 @@
+"""Strategies and strategy spaces (Definition 1 of the paper).
+
+A *pure strategy* is a single IM algorithm (:class:`SeedSelector`); a
+*mixed strategy* ``φ* = {ρ1 φ1, .., ρz φz}`` selects an algorithm from the
+space with the given probabilities each time seeds are chosen.
+:class:`StrategySpace` is the ordered collection Φ shared by all groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.algorithms.base import SeedSelector
+from repro.errors import SeedSelectionError
+from repro.graphs.digraph import DiGraph
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.validation import check_distribution
+
+
+@dataclass(frozen=True)
+class StrategySpace:
+    """The ordered strategy space Φ = {φ1, .., φz}."""
+
+    selectors: tuple[SeedSelector, ...]
+
+    def __init__(self, selectors: Sequence[SeedSelector]):
+        if not selectors:
+            raise SeedSelectionError("strategy space must not be empty")
+        names = [s.name for s in selectors]
+        if len(set(names)) != len(names):
+            raise SeedSelectionError(
+                f"strategy names must be unique, got {names}"
+            )
+        object.__setattr__(self, "selectors", tuple(selectors))
+
+    @property
+    def size(self) -> int:
+        """z, the number of pure strategies."""
+        return len(self.selectors)
+
+    @property
+    def labels(self) -> list[str]:
+        return [s.name for s in self.selectors]
+
+    def __iter__(self) -> Iterator[SeedSelector]:
+        return iter(self.selectors)
+
+    def __getitem__(self, index: int) -> SeedSelector:
+        return self.selectors[index]
+
+    def index_of(self, name: str) -> int:
+        """Position of the strategy named *name*."""
+        for i, s in enumerate(self.selectors):
+            if s.name == name:
+                return i
+        raise SeedSelectionError(f"no strategy named {name!r} in {self.labels}")
+
+
+@dataclass(frozen=True)
+class MixedStrategy:
+    """A probability mixture over a strategy space.
+
+    ``probabilities[i]`` is the chance of running ``space[i]`` when seeds
+    are selected.  A pure strategy is the degenerate one-hot case (use
+    :meth:`pure`).
+    """
+
+    space: StrategySpace
+    probabilities: np.ndarray = field(repr=False)
+
+    def __init__(self, space: StrategySpace, probabilities: Sequence[float]):
+        probs = check_distribution(probabilities, "probabilities")
+        if probs.shape[0] != space.size:
+            raise SeedSelectionError(
+                f"mixture has {probs.shape[0]} weights for {space.size} strategies"
+            )
+        probs.setflags(write=False)
+        object.__setattr__(self, "space", space)
+        object.__setattr__(self, "probabilities", probs)
+
+    @classmethod
+    def pure(cls, space: StrategySpace, index: int) -> "MixedStrategy":
+        """The degenerate mixture that always plays ``space[index]``."""
+        weights = np.zeros(space.size)
+        weights[index] = 1.0
+        return cls(space, weights)
+
+    @classmethod
+    def uniform(cls, space: StrategySpace) -> "MixedStrategy":
+        """The uniform-random mixture (the paper's "Random" baseline)."""
+        return cls(space, np.full(space.size, 1.0 / space.size))
+
+    @property
+    def is_pure(self) -> bool:
+        return bool(np.isclose(self.probabilities.max(), 1.0))
+
+    @property
+    def support(self) -> list[int]:
+        """Indices of strategies played with positive probability."""
+        return [i for i, p in enumerate(self.probabilities) if p > 1e-12]
+
+    def sample(self, rng: RandomSource = None) -> SeedSelector:
+        """Draw one algorithm according to the mixture."""
+        generator = as_rng(rng)
+        index = int(generator.choice(self.space.size, p=self.probabilities))
+        return self.space[index]
+
+    def select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
+        """Sample an algorithm, then select *k* seeds with it."""
+        generator = as_rng(rng)
+        return self.sample(generator).select(graph, k, generator)
+
+    def describe(self) -> str:
+        """Human-readable form, e.g. ``0.582*mgwc + 0.418*sdwc``."""
+        parts = [
+            f"{p:.3f}*{self.space[i].name}"
+            for i, p in enumerate(self.probabilities)
+            if p > 1e-12
+        ]
+        return " + ".join(parts)

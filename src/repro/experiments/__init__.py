@@ -1,0 +1,25 @@
+"""Experiment harness: configuration and runners for every paper table/figure."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runners import (
+    coefficient_rows,
+    jaccard_rows,
+    mixed_vs_random_rows,
+    profile_rows,
+    response_time_rows,
+    sensitivity_rows,
+    spread_rows,
+    table3_rows,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "table3_rows",
+    "jaccard_rows",
+    "spread_rows",
+    "mixed_vs_random_rows",
+    "profile_rows",
+    "response_time_rows",
+    "sensitivity_rows",
+    "coefficient_rows",
+]

@@ -1,0 +1,120 @@
+"""The paper's published numbers, as structured data.
+
+Encodes what the paper's Section 6 actually reports — dataset sizes,
+Table 4 response times, Figure 10 coefficient ranges, the Hep/WC mixed
+probability ρ = 0.582, the Figure 8 improvement percentages — so that the
+benchmark harness can print paper-vs-measured side by side and
+EXPERIMENTS.md stays backed by code rather than prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperDataset:
+    """A row of the paper's Table 3."""
+
+    name: str
+    nodes: int
+    edges: int
+
+
+@dataclass(frozen=True)
+class CoefficientRange:
+    """Figure 10 ranges for one (dataset, model) panel."""
+
+    dataset: str
+    model: str
+    lambda_range: tuple[float, float]
+    gamma_range: tuple[float, float]
+    alpha_plus_beta_range: tuple[float, float]
+
+
+@dataclass(frozen=True)
+class ResponseTime:
+    """A cell of the paper's Table 4 (seconds)."""
+
+    dataset: str
+    model: str
+    order: int  # r = z
+    seconds: float
+
+
+TABLE3 = (
+    PaperDataset("hep", 15_233, 58_891),
+    PaperDataset("phy", 37_154, 231_584),
+    PaperDataset("wiki", 2_394_385, 5_021_410),
+)
+
+#: Table 4, verbatim.
+TABLE4 = (
+    ResponseTime("hep", "ic", 2, 0.022),
+    ResponseTime("hep", "wc", 2, 0.034),
+    ResponseTime("phy", "ic", 2, 0.024),
+    ResponseTime("phy", "wc", 2, 0.024),
+    ResponseTime("wiki", "ic", 2, 0.023),
+    ResponseTime("wiki", "wc", 2, 0.030),
+    ResponseTime("hep", "ic", 3, 0.043),
+    ResponseTime("hep", "wc", 3, 0.083),
+    ResponseTime("phy", "ic", 3, 0.044),
+    ResponseTime("phy", "wc", 3, 0.092),
+    ResponseTime("wiki", "ic", 3, 0.098),
+    ResponseTime("wiki", "wc", 3, 0.440),
+)
+
+#: Figure 10: the paper reports λ, γ ∈ [0.5, 0.59] overall, with the IC
+#: model sitting slightly higher (λ ∈ [0.56, 0.59]) than WC ([0.51, 0.52])
+#: on Hep, and α+β ∈ [1.08, 1.16] (IC) / [1.2, 1.29] (WC).
+FIGURE10 = (
+    CoefficientRange("hep", "ic", (0.56, 0.59), (0.50, 0.59), (1.08, 1.16)),
+    CoefficientRange("hep", "wc", (0.51, 0.52), (0.50, 0.59), (1.20, 1.29)),
+    CoefficientRange("phy", "ic", (0.50, 0.59), (0.50, 0.59), (1.08, 1.16)),
+    CoefficientRange("phy", "wc", (0.50, 0.59), (0.50, 0.59), (1.20, 1.29)),
+    CoefficientRange("wiki", "ic", (0.50, 0.59), (0.50, 0.59), (1.08, 1.16)),
+    CoefficientRange("wiki", "wc", (0.50, 0.59), (0.50, 0.59), (1.20, 1.29)),
+)
+
+#: The one scenario without a pure NE, and its mixed solution.
+MIXED_SCENARIO = {
+    "dataset": "hep",
+    "model": "wc",
+    "rho_mgwc": 0.582,
+    "rho_sdwc": 0.418,
+    "improvement_vs_mgwc_mgwc": 0.20,
+    "improvement_vs_sdwc_sdwc": 0.09,
+    "improvement_vs_random": 0.07,
+    "simulation_rounds": 50,
+}
+
+#: The paper's qualitative claims, used as labels in comparison tables.
+QUALITATIVE_CLAIMS = (
+    "same-algorithm seed sets overlap far more than cross-algorithm pairs",
+    "competitive spread is well below the non-competitive singleton spread",
+    "under IC the greedy strategy is the pure NE on all three datasets",
+    "Hep under WC has no pure NE; the mixed NE mixes mgwc/sdwc",
+    "lambda and gamma stay in [1/2, 1 - eps/2g]; alpha+beta >= 1",
+    "NE search is sub-second for r = z <= 3",
+)
+
+
+def theorem1_holds(lam: float, gamma: float, alpha_plus_beta: float,
+                   slack: float = 0.15) -> bool:
+    """Check a measured coefficient triple against Theorem 1 / Corollary 1.
+
+    *slack* absorbs Monte-Carlo noise around the theoretical interval
+    endpoints (the theorems bound expectations, not finite-sample
+    estimates).
+    """
+    lower = 0.5 - slack
+    return (
+        lam >= lower
+        and gamma >= lower
+        and alpha_plus_beta >= 1.0 - 2 * slack
+    )
+
+
+def table4_shape_holds(measured_seconds: float, order: int) -> bool:
+    """Table 4's transferable claim: NE search is sub-second at r=z<=3."""
+    return measured_seconds < 1.0 if order <= 3 else measured_seconds < 10.0

@@ -1,0 +1,130 @@
+"""One-call orchestration of the full reproduction campaign.
+
+``run_suite`` executes every table/figure runner, writes each result as a
+text table + CSV into an output directory, and records a manifest
+(configuration, wall-clock per experiment, row counts).  This is what the
+benchmark harness does test-by-test, packaged for scripted use::
+
+    from repro.experiments.suite import run_suite
+    manifest = run_suite("results/", only=["table3", "fig10"])
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Sequence, Union
+
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runners import (
+    coefficient_rows,
+    jaccard_rows,
+    mixed_vs_random_rows,
+    profile_rows,
+    response_time_rows,
+    sensitivity_rows,
+    spread_rows,
+    table3_rows,
+)
+from repro.utils.tables import format_table, write_csv
+from repro.utils.timing import Stopwatch
+
+PathLike = Union[str, Path]
+
+RunnerFn = Callable[[ExperimentConfig], list[dict[str, object]]]
+
+
+def _fig_spread(dataset: str, model_kind: str) -> RunnerFn:
+    def run(config: ExperimentConfig) -> list[dict[str, object]]:
+        return spread_rows(config, dataset, model_kind)
+
+    return run
+
+
+def _fig_coeff(dataset: str, model_kind: str) -> RunnerFn:
+    def run(config: ExperimentConfig) -> list[dict[str, object]]:
+        return coefficient_rows(config, dataset, model_kind)
+
+    return run
+
+
+#: Every experiment in the campaign, id -> runner.
+EXPERIMENTS: dict[str, RunnerFn] = {
+    "table3": table3_rows,
+    "fig3": lambda config: jaccard_rows(config, "ic"),
+    "fig4": lambda config: jaccard_rows(config, "wc"),
+    "fig5_ic": _fig_spread("hep", "ic"),
+    "fig5_wc": _fig_spread("hep", "wc"),
+    "fig6_ic": _fig_spread("phy", "ic"),
+    "fig6_wc": _fig_spread("phy", "wc"),
+    "fig7_ic": _fig_spread("wiki", "ic"),
+    "fig7_wc": _fig_spread("wiki", "wc"),
+    "fig8": lambda config: mixed_vs_random_rows(config),
+    "fig9": lambda config: profile_rows(config),
+    "table4": lambda config: response_time_rows(config),
+    "fig10_hep_ic": _fig_coeff("hep", "ic"),
+    "fig10_hep_wc": _fig_coeff("hep", "wc"),
+    "fig10_phy_ic": _fig_coeff("phy", "ic"),
+    "fig10_phy_wc": _fig_coeff("phy", "wc"),
+    "fig10_wiki_ic": _fig_coeff("wiki", "ic"),
+    "fig10_wiki_wc": _fig_coeff("wiki", "wc"),
+    "sensitivity": lambda config: sensitivity_rows(config),
+}
+
+
+def run_suite(
+    output_dir: PathLike,
+    config: ExperimentConfig | None = None,
+    only: Sequence[str] | None = None,
+) -> dict:
+    """Run (a subset of) the campaign; returns and writes the manifest.
+
+    Parameters
+    ----------
+    output_dir:
+        Directory for ``<experiment>.txt`` / ``<experiment>.csv`` outputs
+        plus ``manifest.json``.  Created if missing.
+    config:
+        Experiment configuration; defaults to the env-driven one.
+    only:
+        Experiment ids to run (default: all).  Unknown ids raise.
+    """
+    if config is None:
+        config = ExperimentConfig()
+    requested = list(only) if only is not None else list(EXPERIMENTS)
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        raise ExperimentError(
+            f"unknown experiment ids {unknown}; available: {sorted(EXPERIMENTS)}"
+        )
+
+    out = Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    manifest: dict = {
+        "config": {
+            "nodes_budget": config.nodes_budget,
+            "rounds": config.rounds,
+            "snapshots": config.snapshots,
+            "ks": list(config.ks),
+            "seed": config.seed,
+            "ic_probability": config.ic_probability,
+        },
+        "experiments": {},
+    }
+    for name in requested:
+        watch = Stopwatch()
+        with watch:
+            rows = EXPERIMENTS[name](config)
+        (out / f"{name}.txt").write_text(
+            format_table(rows, title=name) + "\n"
+        )
+        if rows:
+            write_csv(rows, out / f"{name}.csv")
+        manifest["experiments"][name] = {
+            "rows": len(rows),
+            "seconds": round(watch.elapsed, 3),
+        }
+    (out / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return manifest

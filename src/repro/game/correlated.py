@@ -1,0 +1,138 @@
+"""Correlated equilibria by linear programming.
+
+A correlated equilibrium (CE) is a distribution over *joint* action
+profiles such that, after a mediator privately recommends each player its
+component, no player gains by deviating from the recommendation.  Every
+Nash equilibrium is a CE, and CEs are computable by a single LP even for
+r players — no NP-hardness.
+
+GetReal's setting deliberately has *no* mediator (groups cannot even see
+each other's strategies), so CE is not a drop-in replacement for the
+paper's solution concept.  It is included because the paper's Section 7
+raises collusion/coordination between groups as future work: the
+welfare-maximizing CE quantifies exactly how much expected influence a
+trusted coordinator could add on top of the Nash outcome.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import EquilibriumError, GameError
+from repro.game.normal_form import NormalFormGame
+
+
+def correlated_equilibrium(
+    game: NormalFormGame,
+    objective: str = "welfare",
+) -> dict[tuple[int, ...], float]:
+    """A correlated equilibrium of *game*, as profile -> probability.
+
+    *objective* selects which CE the LP returns: ``"welfare"`` maximizes
+    the sum of payoffs; ``"any"`` just finds a feasible point.
+    """
+    if objective not in {"welfare", "any"}:
+        raise GameError(f"objective must be 'welfare' or 'any', got {objective!r}")
+    r = game.num_players
+    shapes = game.payoffs.shape[:-1]
+    profiles = list(game.profiles())
+    index = {profile: pos for pos, profile in enumerate(profiles)}
+    num_vars = len(profiles)
+
+    # Incentive constraints: for each player i and pair (a_i -> b_i),
+    #   sum_{a_{-i}} p(a_i, a_{-i}) [u_i(a) - u_i(b_i, a_{-i})] >= 0.
+    rows = []
+    for i in range(r):
+        z = shapes[i]
+        other_ranges = [range(shapes[j]) for j in range(r) if j != i]
+        for a_i in range(z):
+            for b_i in range(z):
+                if a_i == b_i:
+                    continue
+                row = np.zeros(num_vars)
+                for others in product(*other_ranges):
+                    profile = list(others)
+                    profile.insert(i, a_i)
+                    deviated = list(others)
+                    deviated.insert(i, b_i)
+                    gain = game.payoff(profile, i) - game.payoff(deviated, i)
+                    row[index[tuple(profile)]] = gain
+                rows.append(row)
+    # linprog uses <=; our constraints are row . p >= 0.
+    a_ub = -np.array(rows) if rows else None
+    b_ub = np.zeros(len(rows)) if rows else None
+
+    a_eq = np.ones((1, num_vars))
+    b_eq = np.ones(1)
+
+    if objective == "welfare":
+        welfare = np.array(
+            [float(game.payoff_vector(profile).sum()) for profile in profiles]
+        )
+        c = -welfare  # maximize welfare
+    else:
+        c = np.zeros(num_vars)
+
+    result = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=[(0.0, None)] * num_vars,
+        method="highs",
+    )
+    if not result.success:
+        raise EquilibriumError(f"correlated-equilibrium LP failed: {result.message}")
+    probs = np.clip(result.x, 0.0, None)
+    probs /= probs.sum()
+    return {
+        profile: float(probs[pos])
+        for pos, profile in enumerate(profiles)
+        if probs[pos] > 1e-12
+    }
+
+
+def is_correlated_equilibrium(
+    game: NormalFormGame,
+    distribution: dict[tuple[int, ...], float],
+    atol: float = 1e-8,
+) -> bool:
+    """Verify the CE incentive constraints for *distribution*."""
+    r = game.num_players
+    shapes = game.payoffs.shape[:-1]
+    total = sum(distribution.values())
+    if abs(total - 1.0) > 1e-6 or any(p < -atol for p in distribution.values()):
+        return False
+    for i in range(r):
+        z = shapes[i]
+        for a_i in range(z):
+            for b_i in range(z):
+                if a_i == b_i:
+                    continue
+                gain = 0.0
+                for profile, p in distribution.items():
+                    if profile[i] != a_i:
+                        continue
+                    deviated = list(profile)
+                    deviated[i] = b_i
+                    gain += p * (
+                        game.payoff(profile, i) - game.payoff(deviated, i)
+                    )
+                if gain < -atol:
+                    return False
+    return True
+
+
+def expected_payoffs(
+    game: NormalFormGame,
+    distribution: dict[tuple[int, ...], float],
+) -> np.ndarray:
+    """Per-player expected payoffs under a joint distribution."""
+    out = np.zeros(game.num_players)
+    for profile, p in distribution.items():
+        out += p * game.payoff_vector(profile)
+    return out

@@ -1,0 +1,55 @@
+"""Fictitious play for symmetric games.
+
+A second learning dynamic beside :mod:`repro.game.replicator`: each round
+the (representative) player best-responds to the *empirical distribution*
+of all past play.  The empirical distribution converges to a Nash
+equilibrium in 2×2 games, zero-sum games and potential games — a useful
+independent check on the indifference solver when payoffs are noisy
+Monte-Carlo estimates, and an ablation point for the solver bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GameError
+from repro.game.normal_form import NormalFormGame
+from repro.utils.rng import RandomSource, as_rng
+
+
+def fictitious_play(
+    game: NormalFormGame,
+    steps: int = 5_000,
+    rng: RandomSource = None,
+) -> np.ndarray:
+    """Run symmetric fictitious play; returns the empirical play mixture.
+
+    All players share one belief (the empirical mixture of past best
+    responses, seeded with one uniform pseudo-round); ties between best
+    responses are broken uniformly at random.
+    """
+    counts_shape = set(game.payoffs.shape[:-1])
+    if len(counts_shape) != 1:
+        raise GameError("fictitious play requires equal action counts")
+    if steps <= 0:
+        raise GameError(f"steps must be positive, got {steps}")
+    z = game.num_actions(0)
+    generator = as_rng(rng)
+
+    from repro.game.mixed import expected_payoff_against_symmetric
+
+    # Pseudo-count prior: one uniform round avoids a degenerate start.
+    counts = np.full(z, 1.0 / z)
+    for _ in range(steps):
+        belief = counts / counts.sum()
+        payoffs = np.array(
+            [
+                expected_payoff_against_symmetric(game, a, belief)
+                for a in range(z)
+            ]
+        )
+        best = payoffs.max()
+        candidates = np.flatnonzero(payoffs >= best - 1e-12)
+        action = int(candidates[generator.integers(0, candidates.shape[0])])
+        counts[action] += 1.0
+    return counts / counts.sum()

@@ -1,0 +1,115 @@
+"""Lemke–Howson path following for bimatrix games.
+
+Finds one Nash equilibrium of a two-player game by complementary pivoting —
+polynomial-behaved in practice and the standard workhorse when support
+enumeration's exhaustive sweep is unnecessary.  The implementation uses the
+labelled-tableau formulation: labels ``0..m-1`` are the row player's
+actions, ``m..m+n-1`` the column player's.  The *x*-tableau encodes
+``xᵀB ≤ 1`` (row-player variables, column-player slacks) and the
+*y*-tableau ``Ay ≤ 1``; dropping an initial label and alternating min-ratio
+pivots between the tableaus until the initial label reappears yields a
+completely labelled — i.e. equilibrium — pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EquilibriumError, GameError
+from repro.game.normal_form import NormalFormGame
+
+
+class _Tableau:
+    """A pivoting tableau with explicit basis bookkeeping.
+
+    Columns ``0..m+n-1`` carry variable labels; the final column is the
+    right-hand side.  ``basis[row]`` records which label's variable is basic
+    in each row.
+    """
+
+    def __init__(self, matrix: np.ndarray, slack_labels: range):
+        rows = matrix.shape[0]
+        self.data = np.concatenate([matrix, np.ones((rows, 1))], axis=1)
+        self.basis = list(slack_labels)
+
+    def pivot(self, entering_label: int) -> int:
+        """Bring *entering_label* into the basis; return the departing label."""
+        rhs = self.data[:, -1]
+        col = self.data[:, entering_label]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratios = np.where(col > 1e-12, rhs / col, np.inf)
+        row = int(np.argmin(ratios))
+        if not np.isfinite(ratios[row]):
+            raise EquilibriumError("Lemke-Howson pivot failed: unbounded ray")
+
+        self.data[row] /= self.data[row, entering_label]
+        for r in range(self.data.shape[0]):
+            if r != row:
+                self.data[r] -= self.data[r, entering_label] * self.data[row]
+
+        departing = self.basis[row]
+        self.basis[row] = entering_label
+        return departing
+
+    def strategy(self, labels: range, size: int) -> np.ndarray:
+        """Normalized basic solution restricted to *labels*."""
+        result = np.zeros(size)
+        for row, label in enumerate(self.basis):
+            if label in labels:
+                result[label - labels.start] = max(0.0, self.data[row, -1])
+        total = result.sum()
+        if total <= 0:
+            raise EquilibriumError("Lemke-Howson produced a zero strategy")
+        return result / total
+
+
+def lemke_howson(
+    game: NormalFormGame,
+    initial_label: int = 0,
+    max_pivots: int = 10_000,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One Nash equilibrium ``(x, y)`` of a 2-player game.
+
+    *initial_label* (``0..m+n-1``) selects the complementary path; different
+    labels can reach different equilibria of the same game.
+    """
+    if game.num_players != 2:
+        raise GameError(
+            f"Lemke-Howson handles 2 players, game has {game.num_players}"
+        )
+    a, b = game.bimatrix()
+    m, n = a.shape
+    if not 0 <= initial_label < m + n:
+        raise GameError(f"initial_label must be in [0, {m + n})")
+
+    # Shift payoffs strictly positive (equilibria are shift-invariant).
+    shift = 1.0 - min(a.min(), b.min())
+    a = a + shift
+    b = b + shift
+
+    row_labels = range(0, m)
+    col_labels = range(m, m + n)
+
+    # x-tableau: n rows of xᵀB ≤ 1.  Variable columns 0..m-1 hold Bᵀ (the x
+    # variables); columns m..m+n-1 are the column player's slacks.
+    x_tab = _Tableau(np.concatenate([b.T, np.eye(n)], axis=1), slack_labels=col_labels)
+    # y-tableau: m rows of Ay ≤ 1.  Columns 0..m-1 are the row player's
+    # slacks; columns m..m+n-1 hold A (the y variables).
+    y_tab = _Tableau(np.concatenate([np.eye(m), a], axis=1), slack_labels=row_labels)
+
+    # A row label is an x variable, so it enters in the x-tableau.
+    current = initial_label
+    tableau = x_tab if current in row_labels else y_tab
+    for _ in range(max_pivots):
+        current = tableau.pivot(current)
+        if current == initial_label:
+            break
+        tableau = y_tab if tableau is x_tab else x_tab
+    else:
+        raise EquilibriumError(
+            f"Lemke-Howson did not converge within {max_pivots} pivots"
+        )
+
+    x = x_tab.strategy(row_labels, m)
+    y = y_tab.strategy(col_labels, n)
+    return x, y

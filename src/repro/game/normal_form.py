@@ -1,0 +1,173 @@
+"""Normal-form games with tensor payoffs.
+
+A game with *r* players, player *i* having ``z_i`` actions, is stored as a
+single numpy tensor of shape ``(z_1, .., z_r, r)``: the last axis indexes
+the player whose payoff is read.  The paper's Table 2 is the special case
+``r = z = 2``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import GameError
+
+
+class NormalFormGame:
+    """An *r*-player normal-form game.
+
+    Parameters
+    ----------
+    payoffs:
+        Array of shape ``(z_1, .., z_r, r)``; ``payoffs[a][i]`` is player
+        *i*'s payoff under the pure action profile ``a``.
+    action_labels:
+        Optional human-readable action names, shared by all players (only
+        allowed when all players have the same action count).
+    """
+
+    def __init__(
+        self,
+        payoffs: np.ndarray,
+        action_labels: Sequence[str] | None = None,
+    ):
+        payoffs = np.asarray(payoffs, dtype=float)
+        if payoffs.ndim < 2:
+            raise GameError(
+                f"payoff tensor must have shape (z_1..z_r, r), got {payoffs.shape}"
+            )
+        r = payoffs.ndim - 1
+        if payoffs.shape[-1] != r:
+            raise GameError(
+                f"last axis ({payoffs.shape[-1]}) must equal the number of "
+                f"players ({r})"
+            )
+        if not np.all(np.isfinite(payoffs)):
+            raise GameError("payoffs must be finite")
+        self.payoffs = payoffs
+        self.payoffs.setflags(write=False)
+
+        if action_labels is not None:
+            counts = set(payoffs.shape[:-1])
+            if len(counts) != 1:
+                raise GameError("action_labels require equal action counts")
+            if len(action_labels) != payoffs.shape[0]:
+                raise GameError(
+                    f"expected {payoffs.shape[0]} labels, got {len(action_labels)}"
+                )
+        self.action_labels = list(action_labels) if action_labels else None
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_players(self) -> int:
+        return self.payoffs.ndim - 1
+
+    def num_actions(self, player: int) -> int:
+        self._check_player(player)
+        return self.payoffs.shape[player]
+
+    def _check_player(self, player: int) -> None:
+        if not 0 <= player < self.num_players:
+            raise GameError(f"player {player} out of range [0, {self.num_players})")
+
+    def _check_profile(self, profile: Sequence[int]) -> tuple[int, ...]:
+        profile = tuple(int(a) for a in profile)
+        if len(profile) != self.num_players:
+            raise GameError(
+                f"profile length {len(profile)} != {self.num_players} players"
+            )
+        for i, a in enumerate(profile):
+            if not 0 <= a < self.payoffs.shape[i]:
+                raise GameError(
+                    f"action {a} out of range for player {i} "
+                    f"(has {self.payoffs.shape[i]} actions)"
+                )
+        return profile
+
+    def payoff(self, profile: Sequence[int], player: int) -> float:
+        """Payoff of *player* under a pure action *profile*."""
+        self._check_player(player)
+        profile = self._check_profile(profile)
+        return float(self.payoffs[profile][player])
+
+    def payoff_vector(self, profile: Sequence[int]) -> np.ndarray:
+        """All players' payoffs under *profile*."""
+        return np.array(self.payoffs[self._check_profile(profile)])
+
+    def profiles(self) -> Iterator[tuple[int, ...]]:
+        """Iterate over every pure action profile."""
+        return itertools.product(*(range(z) for z in self.payoffs.shape[:-1]))
+
+    # ------------------------------------------------------------------ #
+    # 2-player conveniences
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_bimatrix(
+        cls,
+        row_payoffs: np.ndarray,
+        col_payoffs: np.ndarray | None = None,
+        action_labels: Sequence[str] | None = None,
+    ) -> "NormalFormGame":
+        """Build a 2-player game from row/column payoff matrices.
+
+        Omitting *col_payoffs* builds the symmetric game ``B = Aᵀ``.
+        """
+        a = np.asarray(row_payoffs, dtype=float)
+        if a.ndim != 2:
+            raise GameError(f"row_payoffs must be a matrix, got shape {a.shape}")
+        b = a.T if col_payoffs is None else np.asarray(col_payoffs, dtype=float)
+        if b.shape != a.shape:
+            raise GameError(
+                f"payoff matrices must share a shape, got {a.shape} vs {b.shape}"
+            )
+        return cls(np.stack([a, b], axis=-1), action_labels=action_labels)
+
+    def bimatrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(A, B)`` for a 2-player game."""
+        if self.num_players != 2:
+            raise GameError(
+                f"bimatrix view requires 2 players, game has {self.num_players}"
+            )
+        return np.array(self.payoffs[..., 0]), np.array(self.payoffs[..., 1])
+
+    # ------------------------------------------------------------------ #
+    # symmetry
+    # ------------------------------------------------------------------ #
+
+    def is_symmetric(self, atol: float = 1e-9) -> bool:
+        """True if all players are interchangeable.
+
+        A game is symmetric when every player has the same action set and
+        ``u_{π(i)}(π(a)) = u_i(a)`` for every permutation π of players.  It
+        suffices to check transpositions of player 0 with each other player.
+        """
+        shape = self.payoffs.shape[:-1]
+        if len(set(shape)) != 1:
+            return False
+        r = self.num_players
+        for j in range(1, r):
+            # Swap players 0 and j: permute profile axes and payoff entries.
+            axes = list(range(r))
+            axes[0], axes[j] = axes[j], axes[0]
+            swapped = np.transpose(self.payoffs, axes + [r])
+            reindex = list(range(r))
+            reindex[0], reindex[j] = j, 0
+            swapped = swapped[..., reindex]
+            if not np.allclose(swapped, self.payoffs, atol=atol):
+                return False
+        return True
+
+    def label(self, action: int) -> str:
+        """Human-readable name of *action*."""
+        if self.action_labels is not None:
+            return self.action_labels[action]
+        return f"a{action}"
+
+    def __repr__(self) -> str:
+        shape = "x".join(str(z) for z in self.payoffs.shape[:-1])
+        return f"NormalFormGame(players={self.num_players}, actions={shape})"

@@ -1,0 +1,89 @@
+"""Exact potential-game diagnostics.
+
+A finite game is an *exact potential game* when there exists a function
+Φ over profiles such that every unilateral deviation changes the
+deviator's payoff by exactly ΔΦ.  Potential games always possess a pure
+Nash equilibrium (any Φ-maximizer) and best-response dynamics converge.
+
+For GetReal this is a diagnostic: if an estimated competitive game is
+(numerically close to) a potential game, the pure branch of Algorithm 1
+is guaranteed to succeed, and seed-space best-response dynamics
+(:mod:`repro.core.best_response`) cannot cycle at the strategy level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GameError
+from repro.game.normal_form import NormalFormGame
+
+
+def potential_function(
+    game: NormalFormGame,
+    atol: float = 1e-8,
+) -> np.ndarray | None:
+    """The exact potential over profiles, or None if no potential exists.
+
+    Built constructively: fix Φ(0,..,0) = 0 and propagate along
+    single-coordinate deviations; then verify every deviation edge (the
+    construction is path-dependent, so verification is what certifies the
+    potential exists).  Returned as an array indexed like the payoff
+    tensor without its player axis.
+    """
+    shape = game.payoffs.shape[:-1]
+    potential = np.full(shape, np.nan)
+    origin = (0,) * game.num_players
+    potential[origin] = 0.0
+
+    # BFS over the profile graph along unilateral deviations.
+    frontier = [origin]
+    while frontier:
+        next_frontier = []
+        for profile in frontier:
+            base = potential[profile]
+            for i in range(game.num_players):
+                for a in range(shape[i]):
+                    if a == profile[i]:
+                        continue
+                    neighbour = list(profile)
+                    neighbour[i] = a
+                    neighbour = tuple(neighbour)
+                    delta = game.payoff(neighbour, i) - game.payoff(profile, i)
+                    value = base + delta
+                    if np.isnan(potential[neighbour]):
+                        potential[neighbour] = value
+                        next_frontier.append(neighbour)
+        frontier = next_frontier
+
+    if np.any(np.isnan(potential)):
+        raise GameError("profile graph unexpectedly disconnected")
+
+    # Verification pass: every deviation must match the potential delta.
+    for profile in game.profiles():
+        for i in range(game.num_players):
+            for a in range(shape[i]):
+                if a == profile[i]:
+                    continue
+                neighbour = list(profile)
+                neighbour[i] = a
+                neighbour = tuple(neighbour)
+                payoff_delta = game.payoff(neighbour, i) - game.payoff(profile, i)
+                potential_delta = potential[neighbour] - potential[profile]
+                if abs(payoff_delta - potential_delta) > atol:
+                    return None
+    return potential
+
+
+def is_potential_game(game: NormalFormGame, atol: float = 1e-8) -> bool:
+    """True when an exact potential function exists (within *atol*)."""
+    return potential_function(game, atol) is not None
+
+
+def potential_maximizer(game: NormalFormGame) -> tuple[int, ...]:
+    """The Φ-maximizing profile — a pure Nash equilibrium of a potential game."""
+    potential = potential_function(game)
+    if potential is None:
+        raise GameError("game is not an exact potential game")
+    flat_index = int(np.argmax(potential))
+    return tuple(int(i) for i in np.unravel_index(flat_index, potential.shape))

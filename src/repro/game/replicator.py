@@ -1,0 +1,81 @@
+"""Discrete-time replicator dynamics for symmetric games.
+
+An evolutionary fallback solver: start from (a perturbation of) the uniform
+mixture and repeatedly reweight each action by its fitness — its expected
+payoff against the current population mixture.  Fixed points of the
+dynamics that attract from the interior are symmetric Nash equilibria; the
+GetReal pipeline uses this only when the direct indifference solvers fail
+on noisy Monte-Carlo payoffs, and the ablation bench compares all solvers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GameError
+from repro.game.normal_form import NormalFormGame
+from repro.utils.rng import RandomSource, as_rng
+
+
+def replicator_dynamics(
+    game: NormalFormGame,
+    steps: int = 5_000,
+    initial: np.ndarray | None = None,
+    perturbation: float = 1e-3,
+    rng: RandomSource = None,
+    average: bool = False,
+) -> np.ndarray:
+    """Run replicator dynamics; returns the final population mixture.
+
+    Payoffs are shifted to be strictly positive first (the discrete
+    replicator map requires positive fitness).  A tiny random perturbation
+    of the uniform start avoids sitting on unstable symmetric fixed points.
+
+    With ``average=True`` the *time-averaged* trajectory is returned
+    instead of the endpoint — the right choice for cyclic games (e.g.
+    rock-paper-scissors), where the discrete map orbits or spirals away
+    from the interior equilibrium but its time average converges to it.
+    """
+    counts = set(game.payoffs.shape[:-1])
+    if len(counts) != 1:
+        raise GameError("replicator dynamics requires equal action counts")
+    z = game.num_actions(0)
+    generator = as_rng(rng)
+
+    from repro.game.mixed import expected_payoff_against_symmetric
+
+    shift = 1.0 - float(game.payoffs.min())
+
+    if initial is None:
+        mixture = np.full(z, 1.0 / z)
+        mixture = mixture + perturbation * generator.random(z)
+        mixture /= mixture.sum()
+    else:
+        mixture = np.asarray(initial, dtype=float)
+        if mixture.shape != (z,):
+            raise GameError(f"initial mixture must have {z} entries")
+        mixture = mixture / mixture.sum()
+
+    running_sum = np.zeros(z)
+    taken = 0
+    for _ in range(steps):
+        fitness = np.array(
+            [
+                expected_payoff_against_symmetric(game, a, mixture) + shift
+                for a in range(z)
+            ]
+        )
+        new_mixture = mixture * fitness
+        total = new_mixture.sum()
+        if total <= 0:
+            break
+        new_mixture /= total
+        running_sum += new_mixture
+        taken += 1
+        if np.abs(new_mixture - mixture).sum() < 1e-12:
+            mixture = new_mixture
+            break
+        mixture = new_mixture
+    if average and taken:
+        return running_sum / taken
+    return mixture

@@ -1,0 +1,104 @@
+"""Support enumeration for two-player games.
+
+Enumerates all Nash equilibria of a nondegenerate bimatrix game by trying
+every pair of equal-size supports, solving the two indifference systems, and
+keeping solutions that are valid distributions and mutual best responses.
+Exponential in the action counts, which is irrelevant at GetReal scale
+(z ≤ 4) and makes it a trustworthy oracle for cross-checking Lemke–Howson
+and the symmetric solvers.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.errors import GameError
+from repro.game.normal_form import NormalFormGame
+
+
+def _solve_indifference(
+    payoff: np.ndarray,
+    own_support: tuple[int, ...],
+    opp_support: tuple[int, ...],
+) -> np.ndarray | None:
+    """Opponent mixture over *opp_support* equalizing *own_support* payoffs.
+
+    *payoff* is the deciding player's matrix with own actions on axis 0.
+    Returns a full-length mixture or None if the system is singular or the
+    solution leaves the simplex.
+    """
+    s = len(own_support)
+    # Unknowns: weights over opp_support (s of them).  Equations: payoffs of
+    # consecutive own-support actions are equal (s-1), plus normalization.
+    rows = []
+    rhs = []
+    for i in range(s - 1):
+        a, b = own_support[i], own_support[i + 1]
+        rows.append(payoff[a, list(opp_support)] - payoff[b, list(opp_support)])
+        rhs.append(0.0)
+    rows.append(np.ones(s))
+    rhs.append(1.0)
+    matrix = np.array(rows)
+    try:
+        weights = np.linalg.solve(matrix, np.array(rhs))
+    except np.linalg.LinAlgError:
+        return None
+    if np.any(weights < -1e-9):
+        return None
+    weights = np.clip(weights, 0.0, None)
+    total = weights.sum()
+    if total <= 0:
+        return None
+    weights /= total
+    full = np.zeros(payoff.shape[1])
+    full[list(opp_support)] = weights
+    return full
+
+
+def _is_best_response(
+    payoff: np.ndarray,
+    own_support: tuple[int, ...],
+    opp_mixture: np.ndarray,
+    atol: float,
+) -> bool:
+    """All support actions optimal against *opp_mixture*."""
+    expected = payoff @ opp_mixture
+    best = expected.max()
+    return bool(np.all(expected[list(own_support)] >= best - atol))
+
+
+def support_enumeration(
+    game: NormalFormGame,
+    atol: float = 1e-9,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """All equilibria ``(x, y)`` of a 2-player game via support enumeration."""
+    if game.num_players != 2:
+        raise GameError(
+            f"support enumeration handles 2 players, game has {game.num_players}"
+        )
+    a, b = game.bimatrix()
+    m, n = a.shape
+    equilibria: list[tuple[np.ndarray, np.ndarray]] = []
+    for size in range(1, min(m, n) + 1):
+        for row_support in itertools.combinations(range(m), size):
+            for col_support in itertools.combinations(range(n), size):
+                y = _solve_indifference(a, row_support, col_support)
+                if y is None:
+                    continue
+                # Column player's indifference over col_support is driven by
+                # the row mixture; transpose B so own actions are on axis 0.
+                x = _solve_indifference(b.T, col_support, row_support)
+                if x is None:
+                    continue
+                if not _is_best_response(a, row_support, y, atol):
+                    continue
+                if not _is_best_response(b.T, col_support, x, atol):
+                    continue
+                if not any(
+                    np.allclose(x, ex) and np.allclose(y, ey)
+                    for ex, ey in equilibria
+                ):
+                    equilibria.append((x, y))
+    return equilibria

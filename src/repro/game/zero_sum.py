@@ -1,0 +1,81 @@
+"""Zero-sum bimatrix games: exact minimax solution by linear programming.
+
+Competitive influence maximization is *not* zero-sum in general (the total
+activated population varies with the profile), but the zero-sum solver is
+a useful reference point: it computes each group's guaranteed spread
+(security level) under fully adversarial assumptions, and for games that
+happen to be (close to) constant-sum it coincides with the Nash solution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import EquilibriumError, GameError
+from repro.game.normal_form import NormalFormGame
+
+
+def minimax_strategy(payoff_matrix: np.ndarray) -> tuple[np.ndarray, float]:
+    """Row player's maximin mixture and game value for payoff matrix *A*.
+
+    Solves  max_x min_j (xᵀA)_j  with x on the simplex, via the standard
+    LP (variables x and the value v; maximize v subject to xᵀA ≥ v·1).
+    """
+    a = np.asarray(payoff_matrix, dtype=float)
+    if a.ndim != 2:
+        raise GameError(f"payoff matrix must be 2-D, got shape {a.shape}")
+    m, n = a.shape
+    # Variables: [x_1..x_m, v].  linprog minimizes, so use -v.
+    c = np.zeros(m + 1)
+    c[-1] = -1.0
+    # v - (xᵀA)_j <= 0  for every column j.
+    a_ub = np.concatenate([-a.T, np.ones((n, 1))], axis=1)
+    b_ub = np.zeros(n)
+    a_eq = np.concatenate([np.ones((1, m)), np.zeros((1, 1))], axis=1)
+    b_eq = np.ones(1)
+    bounds = [(0.0, None)] * m + [(None, None)]
+    result = linprog(
+        c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        raise EquilibriumError(f"minimax LP failed: {result.message}")
+    x = np.clip(result.x[:m], 0.0, None)
+    x /= x.sum()
+    return x, float(result.x[-1])
+
+
+def solve_zero_sum(game: NormalFormGame) -> tuple[np.ndarray, np.ndarray, float]:
+    """Equilibrium ``(x, y, value)`` of a 2-player zero-sum game.
+
+    Requires ``B = -A`` (checked).  The column player's strategy is the
+    row player's maximin mixture on ``-Aᵀ``.
+    """
+    if game.num_players != 2:
+        raise GameError("zero-sum solver handles 2 players")
+    a, b = game.bimatrix()
+    if not np.allclose(a, -b, atol=1e-9):
+        raise GameError("game is not zero-sum (B != -A)")
+    x, value = minimax_strategy(a)
+    y, neg_value = minimax_strategy(-a.T)
+    if abs(value + neg_value) > 1e-6:
+        raise EquilibriumError(
+            f"minimax duality gap: {value} vs {-neg_value}"
+        )
+    return x, y, value
+
+
+def security_levels(game: NormalFormGame) -> tuple[float, float]:
+    """Each player's guaranteed (maximin) payoff in a general bimatrix game.
+
+    The spread a group can secure no matter what the rival does — a lower
+    bound on its equilibrium payoff and a useful robustness summary for
+    estimated competitive games.
+    """
+    if game.num_players != 2:
+        raise GameError("security levels are defined for 2 players here")
+    a, b = game.bimatrix()
+    _, value_row = minimax_strategy(a)
+    _, value_col = minimax_strategy(b.T)
+    return value_row, value_col

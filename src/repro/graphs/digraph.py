@@ -1,0 +1,305 @@
+"""A compact directed graph stored in CSR (compressed sparse row) form.
+
+The cascade simulators in :mod:`repro.cascade` spend almost all of their time
+iterating over out-neighbourhoods, so the graph is stored as two flat numpy
+arrays per direction (``indptr``/``indices``), the same layout used by
+``scipy.sparse.csr_matrix``.  Nodes are dense integers ``0..n-1``; callers
+with string-labelled data relabel at load time (:mod:`repro.graphs.loaders`
+does this automatically).
+
+The structure is immutable after construction: every simulation, snapshot and
+seed-selection pass can then share a single instance without defensive
+copies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+
+
+class DiGraph:
+    """Immutable directed graph over nodes ``0..n-1``.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes *n*. Nodes are the integers ``0..n-1``; isolated
+        nodes are allowed.
+    edges:
+        Iterable of ``(src, dst)`` pairs. Duplicate edges and self-loops are
+        removed (the paper's cascade models are defined on simple graphs).
+    """
+
+    __slots__ = (
+        "_n",
+        "_m",
+        "_out_indptr",
+        "_out_indices",
+        "_in_indptr",
+        "_in_indices",
+        "_edge_ids",
+    )
+
+    def __init__(self, num_nodes: int, edges: Iterable[tuple[int, int]]):
+        if num_nodes < 0:
+            raise GraphError(f"num_nodes must be non-negative, got {num_nodes}")
+        self._n = int(num_nodes)
+
+        edge_arr = np.asarray(list(edges), dtype=np.int64)
+        if edge_arr.size == 0:
+            edge_arr = edge_arr.reshape(0, 2)
+        if edge_arr.ndim != 2 or edge_arr.shape[1] != 2:
+            raise GraphError("edges must be (src, dst) pairs")
+        if edge_arr.size and (
+            edge_arr.min() < 0 or edge_arr.max() >= self._n
+        ):
+            raise GraphError(
+                f"edge endpoints must lie in [0, {self._n}), "
+                f"got range [{edge_arr.min()}, {edge_arr.max()}]"
+            )
+
+        # Drop self-loops, then deduplicate.
+        if edge_arr.size:
+            edge_arr = edge_arr[edge_arr[:, 0] != edge_arr[:, 1]]
+        if edge_arr.size:
+            keys = edge_arr[:, 0] * self._n + edge_arr[:, 1]
+            _, unique_idx = np.unique(keys, return_index=True)
+            edge_arr = edge_arr[np.sort(unique_idx)]
+
+        self._m = int(edge_arr.shape[0])
+
+        src = edge_arr[:, 0]
+        dst = edge_arr[:, 1]
+
+        # Out-CSR, sorted by source.  ``edge_ids`` maps each position in the
+        # out-CSR back to a stable edge id 0..m-1 (the order after dedup), so
+        # per-edge attributes (live-edge masks, probabilities) can be stored
+        # as flat arrays indexed the same way.
+        out_order = np.argsort(src, kind="stable")
+        self._out_indices = dst[out_order].astype(np.int32)
+        self._out_indptr = np.zeros(self._n + 1, dtype=np.int64)
+        np.add.at(self._out_indptr, src + 1, 1)
+        np.cumsum(self._out_indptr, out=self._out_indptr)
+        self._edge_ids = out_order.astype(np.int64)
+
+        # In-CSR, sorted by destination.
+        in_order = np.argsort(dst, kind="stable")
+        self._in_indices = src[in_order].astype(np.int32)
+        self._in_indptr = np.zeros(self._n + 1, dtype=np.int64)
+        np.add.at(self._in_indptr, dst + 1, 1)
+        np.cumsum(self._in_indptr, out=self._in_indptr)
+
+        for arr in (
+            self._out_indptr,
+            self._out_indices,
+            self._in_indptr,
+            self._in_indices,
+            self._edge_ids,
+        ):
+            arr.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes *n*."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges *m* (after self-loop/duplicate removal)."""
+        return self._m
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:
+        return f"DiGraph(n={self._n}, m={self._m})"
+
+    def nodes(self) -> range:
+        """All node ids, as a range."""
+        return range(self._n)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over ``(src, dst)`` pairs in out-CSR order."""
+        for u in range(self._n):
+            for v in self.out_neighbors(u):
+                yield (u, int(v))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if the directed edge ``u -> v`` exists."""
+        self._check_node(u)
+        self._check_node(v)
+        lo, hi = self._out_indptr[u], self._out_indptr[u + 1]
+        return bool(np.any(self._out_indices[lo:hi] == v))
+
+    def _check_node(self, v: int) -> None:
+        if not 0 <= v < self._n:
+            raise GraphError(f"node {v} out of range [0, {self._n})")
+
+    # ------------------------------------------------------------------ #
+    # adjacency
+    # ------------------------------------------------------------------ #
+
+    def out_neighbors(self, v: int) -> np.ndarray:
+        """Successors of *v* (read-only view)."""
+        self._check_node(v)
+        return self._out_indices[self._out_indptr[v]: self._out_indptr[v + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """Predecessors of *v* (read-only view)."""
+        self._check_node(v)
+        return self._in_indices[self._in_indptr[v]: self._in_indptr[v + 1]]
+
+    def out_edge_ids(self, v: int) -> np.ndarray:
+        """Stable edge ids of *v*'s out-edges, aligned with :meth:`out_neighbors`."""
+        self._check_node(v)
+        return self._edge_ids[self._out_indptr[v]: self._out_indptr[v + 1]]
+
+    def out_degrees(self) -> np.ndarray:
+        """Array of out-degrees for all nodes."""
+        return np.diff(self._out_indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """Array of in-degrees for all nodes."""
+        return np.diff(self._in_indptr)
+
+    def out_degree(self, v: int) -> int:
+        self._check_node(v)
+        return int(self._out_indptr[v + 1] - self._out_indptr[v])
+
+    def in_degree(self, v: int) -> int:
+        self._check_node(v)
+        return int(self._in_indptr[v + 1] - self._in_indptr[v])
+
+    @property
+    def out_indptr(self) -> np.ndarray:
+        """Raw out-CSR row pointer (read-only); for vectorized hot loops."""
+        return self._out_indptr
+
+    @property
+    def out_indices(self) -> np.ndarray:
+        """Raw out-CSR column indices (read-only); for vectorized hot loops."""
+        return self._out_indices
+
+    @property
+    def in_indptr(self) -> np.ndarray:
+        """Raw in-CSR row pointer (read-only)."""
+        return self._in_indptr
+
+    @property
+    def in_indices(self) -> np.ndarray:
+        """Raw in-CSR column indices (read-only)."""
+        return self._in_indices
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+
+    def reachable_from(
+        self,
+        sources: Sequence[int],
+        edge_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Boolean array marking nodes reachable from *sources*.
+
+        *edge_mask*, if given, is a boolean array of length *m* indexed by
+        stable edge id; only edges whose mask entry is True are traversed
+        (this is the live-edge-snapshot primitive used by MixGreedy).
+        Sources themselves are always marked reachable.
+        """
+        visited = np.zeros(self._n, dtype=bool)
+        frontier: list[int] = []
+        for s in sources:
+            self._check_node(s)
+            if not visited[s]:
+                visited[s] = True
+                frontier.append(int(s))
+
+        indptr, indices, eids = self._out_indptr, self._out_indices, self._edge_ids
+        while frontier:
+            next_frontier: list[int] = []
+            for u in frontier:
+                lo, hi = indptr[u], indptr[u + 1]
+                nbrs = indices[lo:hi]
+                if edge_mask is not None:
+                    nbrs = nbrs[edge_mask[eids[lo:hi]]]
+                for v in nbrs:
+                    if not visited[v]:
+                        visited[v] = True
+                        next_frontier.append(int(v))
+            frontier = next_frontier
+        return visited
+
+    # ------------------------------------------------------------------ #
+    # constructors / converters
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_arrays(cls, num_nodes: int, src: np.ndarray, dst: np.ndarray) -> "DiGraph":
+        """Build from parallel source/destination arrays."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise GraphError("src and dst must be 1-D arrays of equal length")
+        return cls(num_nodes, np.column_stack([src, dst]))
+
+    @classmethod
+    def from_undirected(cls, num_nodes: int, edges: Iterable[tuple[int, int]]) -> "DiGraph":
+        """Build a directed graph with both orientations of each edge.
+
+        Collaboration networks (Hep, Phy in the paper) are undirected; the
+        cascade models operate on directed edges, so each undirected edge
+        becomes an arc in both directions — the convention of Kempe et al.
+        """
+        pairs = list(edges)
+        both = pairs + [(v, u) for (u, v) in pairs]
+        return cls(num_nodes, both)
+
+    @classmethod
+    def from_networkx(cls, nx_graph: object) -> "DiGraph":
+        """Convert a ``networkx`` (Di)Graph with integer or arbitrary labels."""
+        import networkx as nx
+
+        if not isinstance(nx_graph, (nx.Graph, nx.DiGraph)):
+            raise GraphError(f"expected a networkx graph, got {type(nx_graph).__name__}")
+        nodes = list(nx_graph.nodes())
+        index = {label: i for i, label in enumerate(nodes)}
+        edges = [(index[u], index[v]) for u, v in nx_graph.edges()]
+        if not nx_graph.is_directed():
+            return cls.from_undirected(len(nodes), edges)
+        return cls(len(nodes), edges)
+
+    def to_networkx(self) -> object:
+        """Convert to a :class:`networkx.DiGraph` (for stats/inspection only)."""
+        import networkx as nx
+
+        out = nx.DiGraph()
+        out.add_nodes_from(range(self._n))
+        out.add_edges_from(self.edges())
+        return out
+
+    def edge_array(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(src, dst)`` arrays indexed by stable edge id.
+
+        Per-edge attributes (cascade probabilities, live-edge masks) are
+        stored as flat length-*m* arrays indexed the same way, aligned with
+        :meth:`out_edge_ids`.
+        """
+        src_csr = np.repeat(np.arange(self._n, dtype=np.int64), np.diff(self._out_indptr))
+        src = np.empty(self._m, dtype=np.int64)
+        dst = np.empty(self._m, dtype=np.int64)
+        src[self._edge_ids] = src_csr
+        dst[self._edge_ids] = self._out_indices
+        return src, dst
+
+    def reverse(self) -> "DiGraph":
+        """Return the graph with every edge reversed."""
+        src_rev = np.repeat(np.arange(self._n), np.diff(self._out_indptr))
+        return DiGraph.from_arrays(self._n, self._out_indices, src_rev)

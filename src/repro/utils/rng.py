@@ -1,0 +1,64 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component of the library (cascade simulation, randomized
+seed-selection algorithms, synthetic graph generators, Monte-Carlo payoff
+estimation) accepts a ``rng`` argument of type :data:`RandomSource` — either
+an integer seed, ``None`` (fresh OS entropy), or an existing
+:class:`numpy.random.Generator`.  Normalizing through :func:`as_rng` keeps
+experiments reproducible end to end: a single seed at the top level
+deterministically derives every stream below it via :func:`spawn_rngs`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RandomSource = Union[None, int, np.random.Generator]
+"""Anything convertible to a :class:`numpy.random.Generator`."""
+
+
+def as_rng(rng: RandomSource = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *rng*.
+
+    ``None`` produces a generator seeded from OS entropy; an ``int`` produces
+    a deterministic generator; an existing generator is returned unchanged
+    (NOT copied — callers share its state deliberately).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        if rng < 0:
+            raise ValueError(f"seed must be non-negative, got {rng}")
+        return np.random.default_rng(int(rng))
+    raise TypeError(
+        f"rng must be None, an int seed, or a numpy Generator, got {type(rng).__name__}"
+    )
+
+
+def spawn_rngs(rng: RandomSource, count: int) -> list[np.random.Generator]:
+    """Derive *count* independent child generators from *rng*.
+
+    The children are statistically independent streams (via
+    :meth:`numpy.random.Generator.spawn`), so parallel or repeated
+    sub-experiments never share state with each other or with the parent.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = as_rng(rng)
+    return list(parent.spawn(count))
+
+
+def derive_seed(rng: RandomSource, salt: Optional[int] = None) -> int:
+    """Draw a fresh 63-bit integer seed from *rng*, optionally XOR-ed with *salt*.
+
+    Useful when an API (e.g. ``networkx`` generators) wants an integer seed
+    rather than a generator object.
+    """
+    value = int(as_rng(rng).integers(0, 2**63 - 1))
+    if salt is not None:
+        value ^= salt & (2**63 - 1)
+    return value

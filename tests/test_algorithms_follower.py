@@ -1,0 +1,97 @@
+"""Tests for the follower best-response baseline."""
+
+import pytest
+
+from repro.algorithms.follower import FollowerBestResponse
+from repro.cascade.ic import IndependentCascade
+from repro.cascade.simulate import estimate_competitive_spread
+from repro.errors import SeedSelectionError
+from repro.graphs.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_requires_rival_seeds(self):
+        with pytest.raises(SeedSelectionError, match="non-empty"):
+            FollowerBestResponse(IndependentCascade(0.1), [])
+
+    def test_rival_seed_range_checked(self, karate):
+        follower = FollowerBestResponse(IndependentCascade(0.1), [99])
+        with pytest.raises(SeedSelectionError, match="out of range"):
+            follower.select(karate, 2, rng=0)
+
+    def test_params_validated(self):
+        with pytest.raises(ValueError):
+            FollowerBestResponse(IndependentCascade(0.1), [0], rounds=0)
+
+    def test_repr(self):
+        follower = FollowerBestResponse(IndependentCascade(0.1), [0, 1])
+        assert "rival=2 seeds" in repr(follower)
+
+
+class TestSelection:
+    def test_valid_output(self, karate):
+        follower = FollowerBestResponse(
+            IndependentCascade(0.2), [0], rounds=5, candidate_pool=20
+        )
+        seeds = follower.select(karate, 3, rng=0)
+        assert len(seeds) == 3
+        assert len(set(seeds)) == 3
+
+    def test_pool_smaller_than_budget_rejected(self, karate):
+        follower = FollowerBestResponse(
+            IndependentCascade(0.2), [0], candidate_pool=2
+        )
+        with pytest.raises(SeedSelectionError, match="candidate_pool"):
+            follower.select(karate, 3, rng=0)
+
+    def test_avoids_rival_territory_on_two_stars(self):
+        """With the rival camped on one star's hub, the follower must seed
+        the other star."""
+        edges = [(0, i) for i in range(1, 7)] + [(7, i) for i in range(8, 14)]
+        g = DiGraph(14, edges)
+        follower = FollowerBestResponse(
+            IndependentCascade(1.0), [0], rounds=6, candidate_pool=14
+        )
+        seeds = follower.select(g, 1, rng=1)
+        assert seeds == [7]
+
+    def test_beats_blind_duplicate_of_rival(self, karate):
+        """Knowing the rival's seeds must not do worse than blindly copying
+        them (the follower's whole point)."""
+        model = IndependentCascade(0.25)
+        rival = [33, 0, 2]
+        follower = FollowerBestResponse(model, rival, rounds=8, candidate_pool=34)
+        follower_seeds = follower.select(karate, 3, rng=2)
+
+        informed = estimate_competitive_spread(
+            karate, model, [rival, follower_seeds], rounds=300, rng=3
+        )[1].mean
+        blind = estimate_competitive_spread(
+            karate, model, [rival, list(rival)], rounds=300, rng=4
+        )[1].mean
+        assert informed >= blind * 0.95
+
+    def test_reproducible(self, karate):
+        follower = FollowerBestResponse(
+            IndependentCascade(0.2), [0], rounds=4, candidate_pool=15
+        )
+        assert follower.select(karate, 2, rng=7) == follower.select(
+            karate, 2, rng=7
+        )
+
+
+class TestOutcomeTimeline:
+    def test_timeline_matches_spreads(self, karate):
+        from repro.cascade.competitive import CompetitiveDiffusion
+
+        engine = CompetitiveDiffusion(karate, IndependentCascade(0.3))
+        outcome = engine.run([[0], [33]], rng=5)
+        timeline = outcome.timeline()
+        assert timeline.shape == (outcome.rounds + 1, 2)
+        # Column sums equal the per-group spreads.
+        assert timeline.sum(axis=0).tolist() == outcome.spreads().tolist()
+        # Row 0 counts initiators.
+        assert timeline[0].tolist() == [
+            len(outcome.initiators[0]),
+            len(outcome.initiators[1]),
+        ]

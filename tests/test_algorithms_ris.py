@@ -1,0 +1,102 @@
+"""Tests for the RIS (reverse-influence-sampling) selector."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.ris import RISGreedy
+from repro.cascade.ic import IndependentCascade
+from repro.cascade.simulate import estimate_spread
+from repro.cascade.wc import WeightedCascade
+from repro.graphs.digraph import DiGraph
+from repro.utils.rng import as_rng
+
+
+class TestNamingAndRegistry:
+    def test_name_follows_model(self):
+        assert RISGreedy(IndependentCascade(0.1)).name == "risic"
+        assert RISGreedy(WeightedCascade()).name == "riswc"
+
+    def test_registered(self):
+        algo = get_algorithm("risic", probability=0.2, num_samples=50)
+        assert algo.model.probability == 0.2
+        assert algo.num_samples == 50
+
+    def test_sample_count_validated(self):
+        with pytest.raises(ValueError):
+            RISGreedy(IndependentCascade(0.1), num_samples=0)
+
+
+class TestRrSets:
+    def test_rr_set_contains_root(self, karate):
+        algo = RISGreedy(IndependentCascade(0.2), 10)
+        layout = algo._reverse_edge_layout(karate)
+        rr = algo._sample_rr_set(karate, *layout[:3], root=5, rng=as_rng(0))
+        assert 5 in rr
+
+    def test_p_zero_rr_set_is_singleton(self, karate):
+        algo = RISGreedy(IndependentCascade(0.0), 10)
+        layout = algo._reverse_edge_layout(karate)
+        rr = algo._sample_rr_set(karate, *layout[:3], root=3, rng=as_rng(0))
+        assert rr == [3]
+
+    def test_p_one_rr_set_is_reverse_reachable(self, path_graph):
+        algo = RISGreedy(IndependentCascade(1.0), 10)
+        layout = algo._reverse_edge_layout(path_graph)
+        rr = algo._sample_rr_set(path_graph, *layout[:3], root=3, rng=as_rng(0))
+        # Everything upstream of node 3 on the path 0->1->2->3->4.
+        assert sorted(rr) == [0, 1, 2, 3]
+
+
+class TestSelection:
+    def test_valid_output(self, karate):
+        seeds = RISGreedy(IndependentCascade(0.1), 300).select(karate, 5, rng=0)
+        assert len(seeds) == 5
+        assert len(set(seeds)) == 5
+
+    def test_hub_first_on_star(self, star_graph):
+        seeds = RISGreedy(IndependentCascade(0.6), 500).select(star_graph, 1, rng=1)
+        assert seeds == [0]
+
+    def test_two_components_diversifies(self):
+        edges = [(0, i) for i in range(1, 6)] + [(6, i) for i in range(7, 12)]
+        g = DiGraph(12, edges)
+        seeds = RISGreedy(IndependentCascade(1.0), 400).select(g, 2, rng=2)
+        assert sorted(seeds) == [0, 6]
+
+    def test_matches_mixgreedy_quality(self, karate):
+        """RIS and snapshot greedy maximize the same objective; spreads of
+        their seed sets agree within sampling noise."""
+        from repro.algorithms.greedy import MixGreedy
+
+        model = IndependentCascade(0.15)
+        rng = as_rng(3)
+        ris_seeds = RISGreedy(model, 1500).select(karate, 3, rng)
+        mg_seeds = MixGreedy(model, 100).select(karate, 3, rng)
+        ris_spread = estimate_spread(karate, model, ris_seeds, 300, rng).mean
+        mg_spread = estimate_spread(karate, model, mg_seeds, 300, rng).mean
+        assert ris_spread == pytest.approx(mg_spread, rel=0.15)
+
+    def test_reproducible(self, karate):
+        algo = RISGreedy(IndependentCascade(0.1), 200)
+        assert algo.select(karate, 4, rng=5) == algo.select(karate, 4, rng=5)
+
+    def test_works_under_wc(self, karate):
+        seeds = RISGreedy(WeightedCascade(), 300).select(karate, 3, rng=6)
+        assert len(seeds) == 3
+
+
+class TestEstimatedSpread:
+    def test_matches_mc_estimate(self, karate):
+        model = IndependentCascade(0.2)
+        algo = RISGreedy(model, 3000)
+        seeds = [0, 33]
+        rng = as_rng(7)
+        ris_est = algo.estimated_spread(karate, seeds, rng)
+        mc_est = estimate_spread(karate, model, seeds, 500, rng).mean
+        assert ris_est == pytest.approx(mc_est, rel=0.12)
+
+    def test_full_coverage_when_seeding_everything(self, karate):
+        algo = RISGreedy(IndependentCascade(0.05), 200)
+        value = algo.estimated_spread(karate, list(range(34)), rng=8)
+        assert value == pytest.approx(34.0)

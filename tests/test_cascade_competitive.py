@@ -1,0 +1,280 @@
+"""Tests for the competitive diffusion engine (Section 3.2 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.cascade.competitive import (
+    ClaimRule,
+    CompetitiveDiffusion,
+    CompetitiveOutcome,
+    TieBreakRule,
+    assign_initiators,
+)
+from repro.cascade.ic import IndependentCascade
+from repro.cascade.lt import LinearThreshold
+from repro.cascade.wc import WeightedCascade
+from repro.errors import CascadeError
+from repro.graphs.digraph import DiGraph
+from repro.utils.rng import as_rng
+
+
+class TestAssignInitiators:
+    def test_disjoint_partition_of_union(self, karate, rng):
+        seed_sets = [[0, 1, 2, 3], [2, 3, 4, 5], [3, 5, 6, 7]]
+        initiators = assign_initiators(karate.num_nodes, seed_sets, rng=rng)
+        flat = [v for group in initiators for v in group]
+        assert len(flat) == len(set(flat))
+        assert set(flat) == {0, 1, 2, 3, 4, 5, 6, 7}
+
+    def test_exclusive_seeds_kept(self, karate, rng):
+        initiators = assign_initiators(karate.num_nodes, [[0, 1], [2, 3]], rng=rng)
+        assert sorted(initiators[0]) == [0, 1]
+        assert sorted(initiators[1]) == [2, 3]
+
+    def test_contested_seed_goes_to_exactly_one(self, karate, rng):
+        initiators = assign_initiators(karate.num_nodes, [[0], [0]], rng=rng)
+        sizes = sorted(len(group) for group in initiators)
+        assert sizes == [0, 1]
+
+    def test_uniform_tiebreak_is_fair(self, karate):
+        rng = as_rng(0)
+        wins = np.zeros(2)
+        for _ in range(2000):
+            initiators = assign_initiators(
+                karate.num_nodes, [[0], [0]], TieBreakRule.UNIFORM, rng
+            )
+            wins[0 if initiators[0] else 1] += 1
+        assert wins[0] / wins.sum() == pytest.approx(0.5, abs=0.05)
+
+    def test_proportional_tiebreak_favours_bigger_exclusive_share(self, karate):
+        rng = as_rng(1)
+        wins = np.zeros(2)
+        # Group 0 has 3 exclusive seeds, group 1 has 1; node 9 is contested.
+        for _ in range(2000):
+            initiators = assign_initiators(
+                karate.num_nodes,
+                [[0, 1, 2, 9], [5, 9]],
+                TieBreakRule.PROPORTIONAL,
+                rng,
+            )
+            wins[0 if 9 in initiators[0] else 1] += 1
+        assert wins[0] / wins.sum() == pytest.approx(0.75, abs=0.05)
+
+    def test_proportional_falls_back_to_uniform_without_exclusives(self, karate):
+        rng = as_rng(2)
+        wins = np.zeros(2)
+        for _ in range(1000):
+            initiators = assign_initiators(
+                karate.num_nodes, [[4], [4]], TieBreakRule.PROPORTIONAL, rng
+            )
+            wins[0 if initiators[0] else 1] += 1
+        assert wins[0] / wins.sum() == pytest.approx(0.5, abs=0.07)
+
+    def test_duplicate_seeds_within_group_ignored(self, karate, rng):
+        initiators = assign_initiators(karate.num_nodes, [[0, 0, 1]], rng=rng)
+        assert sorted(initiators[0]) == [0, 1]
+
+    def test_out_of_range_seed_rejected(self, karate, rng):
+        with pytest.raises(CascadeError, match="out of range"):
+            assign_initiators(karate.num_nodes, [[999]], rng=rng)
+
+    def test_empty_input(self, karate, rng):
+        assert assign_initiators(karate.num_nodes, [], rng=rng) == []
+
+    def test_expected_initiator_size_at_most_k(self, karate):
+        # Pigeonhole bound from Section 3.2: E|A0_i| <= k.
+        rng = as_rng(3)
+        k = 4
+        sizes = np.zeros(2)
+        for _ in range(500):
+            initiators = assign_initiators(
+                karate.num_nodes, [[0, 1, 2, 3], [2, 3, 4, 5]], rng=rng
+            )
+            sizes += [len(initiators[0]), len(initiators[1])]
+        sizes /= 500
+        assert sizes[0] <= k + 1e-9
+        assert sizes[1] <= k + 1e-9
+
+
+class TestCompetitiveOutcome:
+    def test_spreads_and_total(self):
+        owner = np.array([0, 0, 1, -1, 1, 1])
+        outcome = CompetitiveOutcome(owner=owner, initiators=[[0], [2]], rounds=2)
+        assert outcome.spread(0) == 2
+        assert outcome.spread(1) == 3
+        assert outcome.total_activated == 5
+        assert outcome.num_groups == 2
+
+    def test_spreads_cached_consistent(self):
+        owner = np.array([0, -1])
+        outcome = CompetitiveOutcome(owner=owner, initiators=[[0]], rounds=1)
+        assert outcome.spreads().tolist() == [1]
+        assert outcome.spreads().tolist() == [1]
+
+
+class TestCascadePath:
+    def test_requires_seed_sets(self, karate):
+        engine = CompetitiveDiffusion(karate, IndependentCascade(0.1))
+        with pytest.raises(CascadeError, match="at least one"):
+            engine.run([])
+
+    def test_ownership_partitions_active_nodes(self, karate):
+        engine = CompetitiveDiffusion(karate, IndependentCascade(0.3))
+        outcome = engine.run([[0, 1], [33, 32]], rng=5)
+        assert outcome.spreads().sum() == outcome.total_activated
+
+    def test_initiators_owned_by_their_group(self, karate):
+        engine = CompetitiveDiffusion(karate, IndependentCascade(0.2))
+        outcome = engine.run([[0], [33]], rng=6)
+        for j, group in enumerate(outcome.initiators):
+            for v in group:
+                assert outcome.owner[v] == j
+
+    def test_p_zero_only_initiators_active(self, karate):
+        engine = CompetitiveDiffusion(karate, IndependentCascade(0.0))
+        outcome = engine.run([[0, 1], [2, 3]], rng=7)
+        assert outcome.total_activated == 4
+        assert outcome.rounds == 1  # one empty attempt round, then quiescence
+
+    def test_p_one_claims_every_reachable_node(self, karate):
+        engine = CompetitiveDiffusion(karate, IndependentCascade(1.0))
+        outcome = engine.run([[0], [33]], rng=8)
+        # Karate is connected (symmetrized), so everything is claimed.
+        assert outcome.total_activated == karate.num_nodes
+
+    def test_single_group_matches_classic_ic_mean(self, karate):
+        model = IndependentCascade(0.2)
+        engine = CompetitiveDiffusion(karate, model)
+        rng = as_rng(9)
+        competitive = np.mean(
+            [engine.run([[0, 33]], rng).spread(0) for _ in range(400)]
+        )
+        classic = np.mean(
+            [model.spread_once(karate, [0, 33], rng) for _ in range(400)]
+        )
+        assert competitive == pytest.approx(classic, rel=0.08)
+
+    def test_total_activation_probability_matches_formula(self):
+        # Node 2 has two in-edges; with both groups attacking via one edge
+        # each, P(activation) = 1 - (1-p)^2 and the claim splits 50/50.
+        graph = DiGraph(3, [(0, 2), (1, 2)])
+        p = 0.4
+        engine = CompetitiveDiffusion(graph, IndependentCascade(p))
+        rng = as_rng(10)
+        activations = 0
+        claims = np.zeros(2)
+        n = 4000
+        for _ in range(n):
+            outcome = engine.run([[0], [1]], rng)
+            if outcome.owner[2] >= 0:
+                activations += 1
+                claims[outcome.owner[2]] += 1
+        expected = 1 - (1 - p) ** 2
+        assert activations / n == pytest.approx(expected, rel=0.07)
+        assert claims[0] / claims.sum() == pytest.approx(0.5, abs=0.05)
+
+    def test_claim_proportional_to_attacker_count(self):
+        # Group 0 attacks node 3 through two fresh nodes, group 1 through
+        # one: claim probability should be 2/3 vs 1/3 conditional on
+        # activation (paper's t_j / sum t_j rule).
+        graph = DiGraph(4, [(0, 3), (1, 3), (2, 3)])
+        engine = CompetitiveDiffusion(graph, IndependentCascade(0.9))
+        rng = as_rng(11)
+        claims = np.zeros(2)
+        for _ in range(3000):
+            outcome = engine.run([[0, 1], [2]], rng)
+            if outcome.owner[3] >= 0:
+                claims[outcome.owner[3]] += 1
+        assert claims[0] / claims.sum() == pytest.approx(2 / 3, abs=0.04)
+
+    def test_winner_take_all_majority_always_wins(self):
+        graph = DiGraph(4, [(0, 3), (1, 3), (2, 3)])
+        engine = CompetitiveDiffusion(
+            graph, IndependentCascade(1.0), claim_rule=ClaimRule.WINNER_TAKE_ALL
+        )
+        rng = as_rng(12)
+        for _ in range(100):
+            outcome = engine.run([[0, 1], [2]], rng)
+            assert outcome.owner[3] == 0
+
+    def test_winner_take_all_ties_split(self):
+        graph = DiGraph(3, [(0, 2), (1, 2)])
+        engine = CompetitiveDiffusion(
+            graph, IndependentCascade(1.0), claim_rule=ClaimRule.WINNER_TAKE_ALL
+        )
+        rng = as_rng(13)
+        claims = np.zeros(2)
+        for _ in range(2000):
+            outcome = engine.run([[0], [1]], rng)
+            claims[outcome.owner[2]] += 1
+        assert claims[0] / claims.sum() == pytest.approx(0.5, abs=0.05)
+
+    def test_claimed_nodes_never_switch(self, karate):
+        # Once owner[v] >= 0 the engine must not reassign it; verified by
+        # the partition property over many runs with heavy competition.
+        engine = CompetitiveDiffusion(karate, IndependentCascade(0.5))
+        rng = as_rng(14)
+        for _ in range(50):
+            outcome = engine.run([[0, 1, 2], [33, 32, 31]], rng)
+            assert outcome.spreads().sum() == outcome.total_activated
+
+    def test_three_groups(self, karate):
+        engine = CompetitiveDiffusion(karate, IndependentCascade(0.3))
+        outcome = engine.run([[0], [33], [16]], rng=15)
+        assert outcome.num_groups == 3
+        assert outcome.spreads().shape == (3,)
+        assert outcome.spreads().sum() == outcome.total_activated
+
+    def test_works_under_wc(self, karate):
+        engine = CompetitiveDiffusion(karate, WeightedCascade())
+        outcome = engine.run([[0], [33]], rng=16)
+        assert outcome.total_activated >= 2
+
+
+class TestThresholdPath:
+    def test_lt_dispatches_to_threshold_engine(self, karate):
+        engine = CompetitiveDiffusion(karate, LinearThreshold())
+        outcome = engine.run([[0, 1], [33, 32]], rng=17)
+        assert outcome.spreads().sum() == outcome.total_activated
+        assert outcome.total_activated >= 4
+
+    def test_lt_initiators_owned(self, karate):
+        engine = CompetitiveDiffusion(karate, LinearThreshold())
+        outcome = engine.run([[0], [33]], rng=18)
+        for j, group in enumerate(outcome.initiators):
+            for v in group:
+                assert outcome.owner[v] == j
+
+    def test_lt_path_graph_fully_claimed(self, path_graph):
+        # Path nodes have a single in-neighbour of weight 1: the wave from
+        # node 0 deterministically claims everything.
+        engine = CompetitiveDiffusion(path_graph, LinearThreshold())
+        outcome = engine.run([[0]], rng=19)
+        assert outcome.spread(0) == 5
+
+    def test_lt_single_group_matches_classic_mean(self, karate):
+        model = LinearThreshold()
+        engine = CompetitiveDiffusion(karate, model)
+        rng = as_rng(20)
+        competitive = np.mean(
+            [engine.run([[0, 33]], rng).spread(0) for _ in range(300)]
+        )
+        classic = np.mean(
+            [model.spread_once(karate, [0, 33], rng) for _ in range(300)]
+        )
+        assert competitive == pytest.approx(classic, rel=0.1)
+
+    def test_lt_competition_splits_fairly_on_symmetric_gadget(self):
+        # Node 2 has in-edges from 0 and 1 (weight 1/2 each); when both are
+        # seeds, v activates iff threshold <= 1 (always, in the second
+        # round) and each group's claim share is 1/2.
+        graph = DiGraph(3, [(0, 2), (1, 2)])
+        engine = CompetitiveDiffusion(graph, LinearThreshold())
+        rng = as_rng(21)
+        claims = np.zeros(2)
+        for _ in range(2000):
+            outcome = engine.run([[0], [1]], rng)
+            if outcome.owner[2] >= 0:
+                claims[outcome.owner[2]] += 1
+        assert claims.sum() == 2000  # threshold <= 1 always crossed
+        assert claims[0] / claims.sum() == pytest.approx(0.5, abs=0.05)

@@ -1,0 +1,105 @@
+"""Tests for the General Threshold model."""
+
+import numpy as np
+import pytest
+
+from repro.cascade.general_threshold import (
+    GeneralThreshold,
+    independent_activation,
+    linear_activation,
+    majority_activation,
+)
+from repro.cascade.ic import IndependentCascade
+from repro.cascade.lt import LinearThreshold
+from repro.errors import CascadeError
+from repro.utils.rng import as_rng
+
+
+class TestActivationFunctions:
+    def test_linear_is_sum(self):
+        assert linear_activation(np.array([0.25, 0.25]), 4) == pytest.approx(0.5)
+
+    def test_linear_zero_in_degree(self):
+        assert linear_activation(np.array([]), 0) == 0.0
+
+    def test_independent_matches_ic_formula(self):
+        f = independent_activation(0.3)
+        assert f(np.array([1.0, 1.0]), 5) == pytest.approx(1 - 0.7**2)
+
+    def test_majority_convex(self):
+        quarter = majority_activation(np.ones(1), 4)
+        half = majority_activation(np.ones(2), 4)
+        assert half > 2 * quarter  # convexity: critical-mass behaviour
+
+    def test_majority_full(self):
+        assert majority_activation(np.ones(4), 4) == pytest.approx(1.0)
+
+
+class TestGeneralThreshold:
+    def test_default_matches_lt_statistically(self, karate):
+        gt = GeneralThreshold()
+        lt = LinearThreshold()
+        rng = as_rng(0)
+        gt_mean = np.mean([gt.spread_once(karate, [0, 33], rng) for _ in range(300)])
+        lt_mean = np.mean([lt.spread_once(karate, [0, 33], rng) for _ in range(300)])
+        assert gt_mean == pytest.approx(lt_mean, rel=0.1)
+
+    def test_independent_activation_matches_ic_statistically(self, karate):
+        p = 0.2
+        gt = GeneralThreshold(independent_activation(p), triggering=False)
+        ic = IndependentCascade(p)
+        rng = as_rng(1)
+        gt_mean = np.mean([gt.spread_once(karate, [0], rng) for _ in range(400)])
+        ic_mean = np.mean([ic.spread_once(karate, [0], rng) for _ in range(400)])
+        # GT evaluates on *cumulative* active neighbours with one threshold,
+        # which for the IC-shaped f equals IC's per-exposure coin in
+        # distribution of the final set.
+        assert gt_mean == pytest.approx(ic_mean, rel=0.15)
+
+    def test_majority_spreads_less_than_linear(self, karate):
+        rng = as_rng(2)
+        linear = GeneralThreshold(linear_activation)
+        convex = GeneralThreshold(majority_activation, triggering=False)
+        lin_mean = np.mean(
+            [linear.spread_once(karate, [0, 33], rng) for _ in range(200)]
+        )
+        maj_mean = np.mean(
+            [convex.spread_once(karate, [0, 33], rng) for _ in range(200)]
+        )
+        assert maj_mean < lin_mean
+
+    def test_seeds_always_active(self, karate):
+        gt = GeneralThreshold(majority_activation, triggering=False)
+        active = gt.simulate(karate, [3, 4], rng=3)
+        assert active[3] and active[4]
+
+    def test_bad_seed_rejected(self, karate):
+        with pytest.raises(CascadeError, match="out of range"):
+            GeneralThreshold().simulate(karate, [99])
+
+    def test_path_graph_floods(self, path_graph):
+        active = GeneralThreshold().simulate(path_graph, [0], rng=4)
+        assert active.all()
+
+    def test_live_mask_requires_triggering(self, karate):
+        gt = GeneralThreshold(majority_activation, triggering=False)
+        with pytest.raises(CascadeError, match="triggering"):
+            gt.sample_live_mask(karate)
+
+    def test_triggering_mask_is_lt_style(self, karate):
+        mask = GeneralThreshold().sample_live_mask(karate, rng=5)
+        _, dst = karate.edge_array()
+        live_dst = dst[mask]
+        assert len(live_dst) == len(set(live_dst.tolist()))
+
+    def test_repr(self):
+        assert "linear_activation" in repr(GeneralThreshold())
+
+    def test_works_in_competitive_engine(self, karate):
+        """GT flows through the cascade-path competitive engine (its
+        edge_probabilities drive the combined activation)."""
+        from repro.cascade.competitive import CompetitiveDiffusion
+
+        engine = CompetitiveDiffusion(karate, GeneralThreshold())
+        outcome = engine.run([[0], [33]], rng=6)
+        assert outcome.spreads().sum() == outcome.total_activated

@@ -1,0 +1,95 @@
+"""Tests for IC-N (negative-opinion cascade)."""
+
+import numpy as np
+import pytest
+
+from repro.cascade.icn import NegativeAwareCascade
+from repro.cascade.ic import IndependentCascade
+from repro.errors import CascadeError
+from repro.graphs.digraph import DiGraph
+from repro.utils.rng import as_rng
+
+
+class TestConstruction:
+    def test_params_validated(self):
+        with pytest.raises(ValueError):
+            NegativeAwareCascade(probability=1.5)
+        with pytest.raises(ValueError):
+            NegativeAwareCascade(quality=-0.1)
+
+    def test_repr(self):
+        assert "q=0.8" in repr(NegativeAwareCascade(0.1, 0.8))
+
+    def test_no_live_mask(self, karate):
+        with pytest.raises(CascadeError, match="reachability"):
+            NegativeAwareCascade(0.1).sample_live_mask(karate)
+
+
+class TestSimulate:
+    def test_quality_one_reduces_to_ic(self, karate):
+        """With q = 1 nobody turns negative: IC-N == IC in distribution."""
+        icn = NegativeAwareCascade(0.2, quality=1.0)
+        ic = IndependentCascade(0.2)
+        rng = as_rng(0)
+        icn_mean = np.mean([icn.spread_once(karate, [0], rng) for _ in range(400)])
+        ic_mean = np.mean([ic.spread_once(karate, [0], rng) for _ in range(400)])
+        assert icn_mean == pytest.approx(ic_mean, rel=0.1)
+
+    def test_quality_zero_yields_no_positives(self, karate):
+        icn = NegativeAwareCascade(0.3, quality=0.0)
+        assert icn.spread_once(karate, [0, 33], rng=1) == 0
+
+    def test_positive_spread_monotone_in_quality(self, karate):
+        rng = as_rng(2)
+        means = []
+        for q in (0.3, 0.6, 0.9):
+            icn = NegativeAwareCascade(0.25, quality=q)
+            means.append(
+                np.mean([icn.spread_once(karate, [0], rng) for _ in range(300)])
+            )
+        assert means[0] < means[1] < means[2]
+
+    def test_negativity_propagates_on_path(self):
+        """With p = 1 and q = 0, the seed turns negative and the whole
+        path becomes negative — zero positives, all nodes touched."""
+        g = DiGraph(4, [(0, 1), (1, 2), (2, 3)])
+        icn = NegativeAwareCascade(1.0, quality=0.0)
+        positive, negative = icn.sentiment_spread(g, [0], rng=3)
+        assert positive == 0
+        assert negative == 4
+
+    def test_sentiment_accounting_sums_to_activation(self, karate):
+        icn = NegativeAwareCascade(0.3, quality=0.7)
+        rng = as_rng(4)
+        for _ in range(20):
+            positive, negative = icn.sentiment_spread(karate, [0, 33], rng)
+            assert positive >= 0 and negative >= 0
+            assert positive + negative >= 2  # at least the seeds
+
+    def test_super_linear_quality_penalty(self, karate):
+        """Chen et al.'s headline: positive spread drops faster than q.
+
+        E[positives] / E[IC activation] < q for q < 1 because negativity
+        is absorbing along paths.
+        """
+        q = 0.7
+        icn = NegativeAwareCascade(0.3, quality=q)
+        ic = IndependentCascade(0.3)
+        rng = as_rng(5)
+        pos = np.mean([icn.spread_once(karate, [0], rng) for _ in range(500)])
+        activated = np.mean([ic.spread_once(karate, [0], rng) for _ in range(500)])
+        assert pos < q * activated
+
+    def test_bad_seed_rejected(self, karate):
+        with pytest.raises(CascadeError):
+            NegativeAwareCascade(0.1).simulate(karate, [99])
+
+    def test_heuristic_selectors_work_under_icn(self, karate):
+        """IC-N plugs into non-snapshot selectors unmodified."""
+        from repro.algorithms.degree_discount import DegreeDiscount
+        from repro.cascade.simulate import estimate_spread
+
+        model = NegativeAwareCascade(0.2, quality=0.8)
+        seeds = DegreeDiscount(0.2).select(karate, 3, rng=6)
+        est = estimate_spread(karate, model, seeds, rounds=50, rng=7)
+        assert est.mean > 0

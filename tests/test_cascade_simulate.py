@@ -1,0 +1,124 @@
+"""Tests for Monte-Carlo spread estimation."""
+
+import numpy as np
+import pytest
+
+from repro.cascade.competitive import ClaimRule, TieBreakRule
+from repro.cascade.ic import IndependentCascade
+from repro.cascade.simulate import (
+    SpreadEstimate,
+    estimate_competitive_spread,
+    estimate_spread,
+)
+from repro.errors import CascadeError
+
+
+class TestSpreadEstimate:
+    def test_from_values(self):
+        est = SpreadEstimate.from_values([1.0, 2.0, 3.0])
+        assert est.mean == pytest.approx(2.0)
+        assert est.std == pytest.approx(1.0)
+        assert est.samples == 3
+
+    def test_stderr(self):
+        est = SpreadEstimate.from_values([1.0, 2.0, 3.0, 4.0])
+        assert est.stderr == pytest.approx(est.std / 2.0)
+
+    def test_single_sample(self):
+        est = SpreadEstimate.from_values([5.0])
+        assert est.mean == 5.0
+        assert est.std == 0.0
+        assert est.stderr == float("inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(CascadeError, match="zero samples"):
+            SpreadEstimate.from_values([])
+
+    def test_pooling_matches_concatenation(self):
+        rng = np.random.default_rng(0)
+        a = rng.random(20) * 10
+        b = rng.random(30) * 10
+        pooled = SpreadEstimate.from_values(a) + SpreadEstimate.from_values(b)
+        direct = SpreadEstimate.from_values(np.concatenate([a, b]))
+        assert pooled.mean == pytest.approx(direct.mean)
+        assert pooled.samples == 50
+        # Pooled std uses ddof=0 combination; should match within ~5%.
+        assert pooled.std == pytest.approx(direct.std, rel=0.05)
+
+    def test_add_wrong_type(self):
+        with pytest.raises(TypeError):
+            SpreadEstimate.from_values([1.0]) + 3
+
+
+class TestEstimateSpread:
+    def test_deterministic_graph(self, path_graph):
+        est = estimate_spread(path_graph, IndependentCascade(1.0), [0], 10, rng=0)
+        assert est.mean == 5.0
+        assert est.std == 0.0
+
+    def test_star_expectation(self, star_graph):
+        est = estimate_spread(
+            star_graph, IndependentCascade(0.4), [0], rounds=1500, rng=1
+        )
+        assert est.mean == pytest.approx(1 + 10 * 0.4, rel=0.05)
+
+    def test_rounds_validated(self, path_graph):
+        with pytest.raises(ValueError):
+            estimate_spread(path_graph, IndependentCascade(0.5), [0], rounds=0)
+
+    def test_reproducible(self, karate):
+        a = estimate_spread(karate, IndependentCascade(0.2), [0], 20, rng=3)
+        b = estimate_spread(karate, IndependentCascade(0.2), [0], 20, rng=3)
+        assert a.mean == b.mean
+
+
+class TestEstimateCompetitiveSpread:
+    def test_one_estimate_per_group(self, karate):
+        ests = estimate_competitive_spread(
+            karate, IndependentCascade(0.2), [[0], [33]], rounds=10, rng=0
+        )
+        assert len(ests) == 2
+        assert all(e.samples == 10 for e in ests)
+
+    def test_symmetric_seeds_get_symmetric_spreads(self, karate):
+        # Identical contested seed sets: expected spreads must match.
+        ests = estimate_competitive_spread(
+            karate,
+            IndependentCascade(0.3),
+            [[0, 33], [0, 33]],
+            rounds=600,
+            rng=1,
+        )
+        assert ests[0].mean == pytest.approx(ests[1].mean, rel=0.15)
+
+    def test_total_bounded_by_union_spread(self, karate):
+        # Competition can't activate more than the non-competitive union.
+        competitive = estimate_competitive_spread(
+            karate, IndependentCascade(0.3), [[0], [33]], rounds=500, rng=2
+        )
+        union = estimate_spread(
+            karate, IndependentCascade(0.3), [0, 33], rounds=500, rng=3
+        )
+        total = competitive[0].mean + competitive[1].mean
+        assert total == pytest.approx(union.mean, rel=0.1)
+
+    def test_accepts_rules(self, karate):
+        ests = estimate_competitive_spread(
+            karate,
+            IndependentCascade(0.2),
+            [[0], [0]],
+            rounds=5,
+            rng=4,
+            tie_break=TieBreakRule.PROPORTIONAL,
+            claim_rule=ClaimRule.WINNER_TAKE_ALL,
+        )
+        assert len(ests) == 2
+
+    def test_reproducible(self, karate):
+        a = estimate_competitive_spread(
+            karate, IndependentCascade(0.2), [[0], [33]], rounds=15, rng=9
+        )
+        b = estimate_competitive_spread(
+            karate, IndependentCascade(0.2), [[0], [33]], rounds=15, rng=9
+        )
+        assert [e.mean for e in a] == [e.mean for e in b]

@@ -1,0 +1,83 @@
+"""Tests for equilibrium-efficiency analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    EfficiencyReport,
+    efficiency_report,
+    optimal_welfare,
+    profile_welfare,
+    symmetric_mixture_welfare,
+)
+from repro.core.getreal import solve_strategy_game
+from repro.core.strategy import StrategySpace
+from repro.errors import GameError
+from repro.game.normal_form import NormalFormGame
+
+
+def pd_game() -> NormalFormGame:
+    a = np.array([[3.0, 0.0], [5.0, 1.0]])
+    return NormalFormGame.from_bimatrix(a)
+
+
+class TestWelfare:
+    def test_profile_welfare(self):
+        assert profile_welfare(pd_game(), (0, 0)) == 6.0
+        assert profile_welfare(pd_game(), (1, 0)) == 5.0
+
+    def test_optimal_welfare(self):
+        value, profile = optimal_welfare(pd_game())
+        assert value == 6.0
+        assert profile == (0, 0)
+
+    def test_symmetric_mixture_welfare_pure(self):
+        welfare = symmetric_mixture_welfare(pd_game(), np.array([0.0, 1.0]))
+        assert welfare == pytest.approx(2.0)  # (D, D): 1 + 1
+
+    def test_symmetric_mixture_welfare_interpolates(self):
+        uniform = symmetric_mixture_welfare(pd_game(), np.array([0.5, 0.5]))
+        # Average over 4 profiles: (6 + 5 + 5 + 2) / 4.
+        assert uniform == pytest.approx(4.5)
+
+    def test_mixture_shape_checked(self):
+        with pytest.raises(GameError):
+            symmetric_mixture_welfare(pd_game(), np.array([1.0]))
+
+
+class TestEfficiencyReport:
+    def test_pd_price_of_anarchy(self):
+        from repro.algorithms.degree_discount import DegreeDiscount
+        from repro.algorithms.heuristics import RandomSeeds
+
+        space = StrategySpace([DegreeDiscount(0.1), RandomSeeds()])
+        result = solve_strategy_game(pd_game(), space)
+        report = efficiency_report(result)
+        # Equilibrium (D, D) welfare 2; optimum (C, C) welfare 6.
+        assert report.equilibrium_welfare == pytest.approx(2.0)
+        assert report.optimal_welfare == pytest.approx(6.0)
+        assert report.price_of_anarchy == pytest.approx(3.0)
+        assert report.efficiency == pytest.approx(1 / 3)
+
+    def test_coordination_game_fully_efficient(self):
+        from repro.algorithms.degree_discount import DegreeDiscount
+        from repro.algorithms.heuristics import RandomSeeds
+
+        a = np.array([[5.0, 0.0], [0.0, 3.0]])
+        game = NormalFormGame.from_bimatrix(a)
+        space = StrategySpace([DegreeDiscount(0.1), RandomSeeds()])
+        result = solve_strategy_game(game, space)
+        report = efficiency_report(result)
+        assert report.price_of_anarchy == pytest.approx(1.0)
+
+    def test_degenerate_welfare(self):
+        report = EfficiencyReport(
+            equilibrium_welfare=0.0, optimal_welfare=5.0, optimal_profile=(0, 0)
+        )
+        assert report.price_of_anarchy == float("inf")
+
+    def test_efficiency_bounds(self):
+        report = EfficiencyReport(
+            equilibrium_welfare=4.0, optimal_welfare=5.0, optimal_profile=(0, 0)
+        )
+        assert 0.0 <= report.efficiency <= 1.0

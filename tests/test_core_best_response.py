@@ -1,0 +1,94 @@
+"""Tests for iterated seed-space best-response dynamics."""
+
+import pytest
+
+from repro.cascade.ic import IndependentCascade
+from repro.core.best_response import BestResponseOutcome, best_response_dynamics
+from repro.errors import SeedSelectionError
+from repro.graphs.digraph import DiGraph
+
+
+def _two_stars() -> DiGraph:
+    edges = [(0, i) for i in range(1, 7)] + [(7, i) for i in range(8, 14)]
+    return DiGraph(14, edges)
+
+
+class TestBestResponseDynamics:
+    def test_returns_outcome(self, karate):
+        outcome = best_response_dynamics(
+            karate,
+            IndependentCascade(0.2),
+            initial_seeds=[[0, 1], [33, 32]],
+            k=2,
+            max_rounds=2,
+            response_rounds=4,
+            candidate_pool=15,
+            eval_rounds=10,
+            rng=0,
+        )
+        assert isinstance(outcome, BestResponseOutcome)
+        assert len(outcome.seeds[0]) == 2
+        assert len(outcome.seeds[1]) == 2
+        assert outcome.rounds_played <= 2
+        assert len(outcome.history) == outcome.rounds_played
+
+    def test_two_stars_separate_and_converge(self):
+        """Starting contested on one hub, the dynamics should split the
+        groups across the two stars and then stop moving."""
+        g = _two_stars()
+        outcome = best_response_dynamics(
+            g,
+            IndependentCascade(1.0),
+            initial_seeds=[[0], [0 if False else 7]],
+            k=1,
+            max_rounds=4,
+            response_rounds=4,
+            candidate_pool=14,
+            eval_rounds=8,
+            rng=1,
+        )
+        assert outcome.converged
+        assert {outcome.seeds[0][0], outcome.seeds[1][0]} == {0, 7}
+
+    def test_requires_two_groups(self, karate):
+        with pytest.raises(SeedSelectionError, match="two-group"):
+            best_response_dynamics(
+                karate, IndependentCascade(0.1), [[0]], k=1
+            )
+
+    def test_initial_budget_checked(self, karate):
+        with pytest.raises(SeedSelectionError, match="distinct"):
+            best_response_dynamics(
+                karate, IndependentCascade(0.1), [[0], [1, 2]], k=2
+            )
+
+    def test_describe(self, karate):
+        outcome = best_response_dynamics(
+            karate,
+            IndependentCascade(0.2),
+            initial_seeds=[[0], [33]],
+            k=1,
+            max_rounds=1,
+            response_rounds=3,
+            candidate_pool=10,
+            eval_rounds=5,
+            rng=2,
+        )
+        text = outcome.describe()
+        assert "rounds" in text
+        assert "spreads" in text
+
+    def test_reproducible(self, karate):
+        kwargs = dict(
+            initial_seeds=[[0], [33]],
+            k=1,
+            max_rounds=2,
+            response_rounds=3,
+            candidate_pool=10,
+            eval_rounds=5,
+            rng=5,
+        )
+        a = best_response_dynamics(karate, IndependentCascade(0.2), **kwargs)
+        b = best_response_dynamics(karate, IndependentCascade(0.2), **kwargs)
+        assert a.seeds == b.seeds
+        assert a.spreads == b.spreads

@@ -1,0 +1,96 @@
+"""Tests for influence blocking."""
+
+import pytest
+
+from repro.cascade.ic import IndependentCascade
+from repro.core.blocking import BlockingResult, select_blockers
+from repro.errors import SeedSelectionError
+from repro.graphs.digraph import DiGraph
+
+
+class TestSelectBlockers:
+    def test_returns_result(self, karate):
+        result = select_blockers(
+            karate,
+            IndependentCascade(0.2),
+            rival_seeds=[0],
+            k=2,
+            rounds=6,
+            candidate_pool=15,
+            rng=0,
+        )
+        assert isinstance(result, BlockingResult)
+        assert len(result.blockers) == 2
+        assert len(set(result.blockers)) == 2
+
+    def test_blockers_exclude_rival_seeds(self, karate):
+        result = select_blockers(
+            karate,
+            IndependentCascade(0.3),
+            rival_seeds=[0, 33],
+            k=3,
+            rounds=5,
+            candidate_pool=20,
+            rng=1,
+        )
+        assert not set(result.blockers) & {0, 33}
+
+    def test_blocking_reduces_rival_spread(self, karate):
+        result = select_blockers(
+            karate,
+            IndependentCascade(0.3),
+            rival_seeds=[0],
+            k=3,
+            rounds=12,
+            candidate_pool=20,
+            rng=2,
+        )
+        assert result.rival_spread_after < result.rival_spread_before
+        assert 0.0 < result.reduction <= 1.0
+
+    def test_blocker_intercepts_on_path(self):
+        """On a path seeded at one end, the best single blocker is the
+        rival seed's immediate successor."""
+        g = DiGraph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+        result = select_blockers(
+            g,
+            IndependentCascade(1.0),
+            rival_seeds=[0],
+            k=1,
+            rounds=4,
+            candidate_pool=6,
+            rng=3,
+        )
+        assert result.blockers == [1]
+        assert result.rival_spread_after == pytest.approx(1.0)
+
+    def test_empty_rival_rejected(self, karate):
+        with pytest.raises(SeedSelectionError, match="non-empty"):
+            select_blockers(karate, IndependentCascade(0.1), [], k=1)
+
+    def test_rival_seed_range_checked(self, karate):
+        with pytest.raises(SeedSelectionError, match="out of range"):
+            select_blockers(karate, IndependentCascade(0.1), [99], k=1)
+
+    def test_pool_too_small_rejected(self):
+        g = DiGraph(3, [(0, 1), (1, 2)])
+        with pytest.raises(SeedSelectionError, match="candidates"):
+            select_blockers(
+                g, IndependentCascade(0.5), [0], k=3, candidate_pool=1, rng=4
+            )
+
+    def test_reproducible(self, karate):
+        kwargs = dict(
+            rival_seeds=[0], k=2, rounds=5, candidate_pool=12, rng=7
+        )
+        a = select_blockers(karate, IndependentCascade(0.2), **kwargs)
+        b = select_blockers(karate, IndependentCascade(0.2), **kwargs)
+        assert a.blockers == b.blockers
+        assert a.rival_spread_after == b.rival_spread_after
+
+    def test_reduction_zero_when_baseline_zero(self):
+        result = BlockingResult(
+            blockers=[1], rival_spread_before=0.0, rival_spread_after=0.0,
+            blocker_spread=1.0,
+        )
+        assert result.reduction == 0.0

@@ -1,0 +1,87 @@
+"""Tests for the asymmetric-budget extension."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.degree_discount import DegreeDiscount
+from repro.algorithms.heuristics import RandomSeeds
+from repro.cascade.ic import IndependentCascade
+from repro.core.budgets import (
+    asymmetric_budget_analysis,
+    asymmetric_budget_game,
+    solve_asymmetric_budget_game,
+)
+from repro.core.strategy import StrategySpace
+from repro.game.normal_form import NormalFormGame
+
+
+@pytest.fixture
+def space() -> StrategySpace:
+    return StrategySpace([DegreeDiscount(0.1), RandomSeeds()])
+
+
+class TestAsymmetricBudgetGame:
+    def test_game_shape(self, karate, space):
+        game = asymmetric_budget_game(
+            karate, IndependentCascade(0.1), space, budgets=(6, 3), rounds=8, rng=0
+        )
+        assert game.num_players == 2
+        assert game.num_actions(0) == 2
+        assert game.action_labels == ["ddic", "random"]
+
+    def test_bigger_budget_spreads_more(self, karate, space):
+        game = asymmetric_budget_game(
+            karate, IndependentCascade(0.15), space, budgets=(8, 2), rounds=60, rng=1
+        )
+        # Same strategy head-to-head: the 8-seed group beats the 2-seed one.
+        assert game.payoff((0, 0), 0) > game.payoff((0, 0), 1)
+
+    def test_budgets_validated(self, karate, space):
+        with pytest.raises(ValueError):
+            asymmetric_budget_game(
+                karate, IndependentCascade(0.1), space, budgets=(0, 3)
+            )
+
+
+class TestSolveAsymmetricBudgetGame:
+    def test_pure_equilibrium_path(self, space):
+        a = np.array([[9.0, 8.0], [4.0, 3.0]])  # row 0 dominant
+        b = np.array([[5.0, 2.0], [6.0, 3.0]])  # col 0 dominant
+        game = NormalFormGame(np.stack([a, b], axis=-1), action_labels=space.labels)
+        result = solve_asymmetric_budget_game(game, space, budgets=(6, 3))
+        assert result.kind == "pure"
+        assert result.mixtures[0].is_pure
+        assert result.values == (9.0, 5.0)
+
+    def test_mixed_equilibrium_path(self, space):
+        # Matching-pennies payoffs: no pure NE, Lemke-Howson finds 50/50.
+        a = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        game = NormalFormGame(np.stack([a, -a], axis=-1), action_labels=space.labels)
+        result = solve_asymmetric_budget_game(game, space, budgets=(4, 4))
+        assert result.kind == "mixed"
+        assert np.allclose(result.mixtures[0].probabilities, [0.5, 0.5])
+
+    def test_describe(self, space):
+        a = np.array([[9.0, 8.0], [4.0, 3.0]])
+        b = np.array([[5.0, 2.0], [6.0, 3.0]])
+        game = NormalFormGame(np.stack([a, b], axis=-1), action_labels=space.labels)
+        result = solve_asymmetric_budget_game(game, space, budgets=(6, 3))
+        text = result.describe()
+        assert "(6, 3)" in text
+        assert "p1" in text and "p2" in text
+
+
+class TestEndToEnd:
+    def test_analysis_runs(self, karate, space):
+        result = asymmetric_budget_analysis(
+            karate, IndependentCascade(0.1), space, budgets=(6, 3), rounds=10, rng=2
+        )
+        assert result.kind in {"pure", "mixed"}
+        assert result.budgets == (6, 3)
+        assert len(result.mixtures) == 2
+
+    def test_double_budget_wins(self, karate, space):
+        result = asymmetric_budget_analysis(
+            karate, IndependentCascade(0.15), space, budgets=(8, 4), rounds=40, rng=3
+        )
+        assert result.values[0] > result.values[1]

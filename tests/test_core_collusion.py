@@ -1,0 +1,61 @@
+"""Tests for the collusion extension (paper Section 7 future work)."""
+
+import pytest
+
+from repro.algorithms.degree_discount import DegreeDiscount
+from repro.algorithms.heuristics import RandomSeeds
+from repro.cascade.ic import IndependentCascade
+from repro.core.collusion import CollusionResult, collusion_analysis
+from repro.core.strategy import StrategySpace
+
+
+@pytest.fixture
+def space() -> StrategySpace:
+    return StrategySpace([DegreeDiscount(0.1), RandomSeeds()])
+
+
+@pytest.fixture
+def result(karate, space) -> CollusionResult:
+    return collusion_analysis(
+        karate, IndependentCascade(0.1), space, k=3, rounds=10, rng=0
+    )
+
+
+class TestCollusionAnalysis:
+    def test_returns_result(self, result):
+        assert isinstance(result, CollusionResult)
+
+    def test_coalition_game_shape(self, result, space):
+        game = result.coalition_game
+        assert game.num_players == 2
+        assert game.num_actions(0) == space.size
+        assert game.action_labels == space.labels
+
+    def test_values_positive(self, result):
+        assert result.coalition_value > 0
+        assert result.independent_value > 0
+        assert result.outsider_value >= 0
+
+    def test_collusion_pays_flag_consistent(self, result):
+        assert result.collusion_pays == (
+            result.coalition_value > result.independent_value
+        )
+
+    def test_independent_result_is_three_player(self, result):
+        assert result.independent_result.game.num_players == 3
+
+    def test_equilibria_are_profiles(self, result):
+        for profile in result.coalition_equilibria:
+            assert len(profile) == 2
+
+    def test_coalition_with_double_budget_beats_outsider(self, karate, space):
+        """With 2k seeds vs k the coalition should claim more nodes than the
+        outsider at its preferred equilibrium."""
+        result = collusion_analysis(
+            karate, IndependentCascade(0.15), space, k=3, rounds=60, rng=1
+        )
+        assert result.coalition_value > result.outsider_value
+
+    def test_budget_validated(self, karate, space):
+        with pytest.raises(ValueError):
+            collusion_analysis(karate, IndependentCascade(0.1), space, k=0)

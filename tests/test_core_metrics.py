@@ -1,0 +1,123 @@
+"""Tests for jaccard overlap and the Theorem-1 coefficient estimators."""
+
+import pytest
+
+from repro.algorithms.degree_discount import DegreeDiscount
+from repro.algorithms.heuristics import HighDegree, RandomSeeds
+from repro.cascade.ic import IndependentCascade
+from repro.core.metrics import (
+    estimate_coefficients,
+    jaccard,
+    seed_overlap_profile,
+)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard([1, 2], [3, 4]) == 0.0
+
+    def test_partial(self):
+        assert jaccard([1, 2, 3], [2, 3, 4]) == pytest.approx(2 / 4)
+
+    def test_empty_sets(self):
+        assert jaccard([], []) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard([1], []) == 0.0
+
+    def test_duplicates_ignored(self):
+        assert jaccard([1, 1, 2], [1, 2, 2]) == 1.0
+
+
+class TestSeedOverlapProfile:
+    def test_deterministic_algorithms_overlap_fully(self, karate):
+        # HighDegree with the same rng stream still jitters ties, but the
+        # top-degree karate nodes are unique, so overlap is high.
+        est = seed_overlap_profile(
+            karate, HighDegree(), HighDegree(), k=3, repeats=4, rng=0
+        )
+        assert est.mean > 0.9
+
+    def test_random_vs_random_overlaps_little(self, karate):
+        est = seed_overlap_profile(
+            karate, RandomSeeds(), RandomSeeds(), k=3, repeats=20, rng=1
+        )
+        assert est.mean < 0.3
+
+    def test_same_algorithm_overlaps_more_than_cross(self, karate):
+        """The Figure 3/4 phenomenon: same-algorithm pairs have larger
+        overlap than mixed pairs."""
+        same = seed_overlap_profile(
+            karate, DegreeDiscount(0.1), DegreeDiscount(0.1), 4, 15, rng=2
+        )
+        cross = seed_overlap_profile(
+            karate, DegreeDiscount(0.1), RandomSeeds(), 4, 15, rng=3
+        )
+        assert same.mean > cross.mean
+
+    def test_bounds(self, karate):
+        est = seed_overlap_profile(
+            karate, RandomSeeds(), HighDegree(), 5, 10, rng=4
+        )
+        assert 0.0 <= est.mean <= 1.0
+
+
+class TestEstimateCoefficients:
+    @pytest.fixture
+    def coeff(self, karate):
+        return estimate_coefficients(
+            karate,
+            IndependentCascade(0.15),
+            DegreeDiscount(0.15),
+            RandomSeeds(),
+            k=4,
+            rounds=150,
+            rng=5,
+        )
+
+    def test_g_exceeds_h_for_stronger_strategy(self, coeff):
+        # DegreeDiscount spreads more than random seeds.
+        assert coeff.g > coeff.h
+
+    def test_lambda_gamma_near_theorem_interval(self, coeff):
+        # Theorem 1: lambda, gamma in [1/2, 1 - eps/2g]; allow MC slack.
+        assert 0.4 <= coeff.lam <= 1.05
+        assert 0.4 <= coeff.gamma <= 1.05
+
+    def test_alpha_beta_sum_at_least_one(self, coeff):
+        # Corollary 1 lower bound (with MC slack).
+        assert coeff.alpha_plus_beta >= 0.9
+
+    def test_bounds_structure(self, coeff):
+        bounds = coeff.theorem1_bounds()
+        assert set(bounds) == {"lambda", "gamma", "alpha+beta"}
+        lo, hi = bounds["lambda"]
+        assert lo == 0.5
+        assert hi <= 1.0
+
+    def test_as_row_keys(self, coeff):
+        row = coeff.as_row()
+        assert {"g", "h", "lambda", "gamma", "alpha", "beta", "alpha+beta"} == set(row)
+
+    def test_epsilons_non_negative(self, coeff):
+        assert coeff.epsilon_same_1 >= 0
+        assert coeff.epsilon_same_2 >= 0
+        assert coeff.epsilon_cross >= 0
+
+    def test_identical_deterministic_seeds_give_half(self, karate):
+        """When both groups pick exactly the same seeds, λ must be 1/2 (the
+        paper's boundary case: 'if a network always generates the same
+        initial seeds ... the values of λ and γ are 1/2')."""
+        coeff = estimate_coefficients(
+            karate,
+            IndependentCascade(0.15),
+            HighDegree(),  # deterministic top-degree picks
+            RandomSeeds(),
+            k=3,
+            rounds=400,
+            rng=6,
+        )
+        assert coeff.lam == pytest.approx(0.5, abs=0.07)

@@ -1,0 +1,111 @@
+"""Tests for result serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.algorithms.degree_discount import DegreeDiscount
+from repro.algorithms.heuristics import RandomSeeds
+from repro.cascade.ic import IndependentCascade
+from repro.core.getreal import get_real
+from repro.core.payoff import estimate_payoff_table
+from repro.core.reporting import (
+    load_payoff_table,
+    payoff_table_from_dict,
+    payoff_table_to_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.core.strategy import StrategySpace
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def space():
+    return StrategySpace([DegreeDiscount(0.1), RandomSeeds()])
+
+
+@pytest.fixture
+def table(karate, space):
+    return estimate_payoff_table(
+        karate, IndependentCascade(0.1), space, k=3, rounds=6, rng=0
+    )
+
+
+@pytest.fixture
+def result(karate, space):
+    return get_real(karate, IndependentCascade(0.1), space, k=3, rounds=6, rng=0)
+
+
+class TestPayoffTableRoundTrip:
+    def test_dict_is_json_able(self, table):
+        data = payoff_table_to_dict(table)
+        assert json.loads(json.dumps(data)) == data
+
+    def test_round_trip_preserves_estimates(self, table):
+        back = payoff_table_from_dict(payoff_table_to_dict(table))
+        assert set(back.estimates) == set(table.estimates)
+        for profile in table.estimates:
+            for i in range(2):
+                assert back.estimate(profile, i).mean == table.estimate(profile, i).mean
+                assert back.estimate(profile, i).samples == table.estimate(
+                    profile, i
+                ).samples
+
+    def test_round_trip_preserves_metadata(self, table):
+        back = payoff_table_from_dict(payoff_table_to_dict(table))
+        assert back.k == table.k
+        assert back.rounds == table.rounds
+        assert back.num_groups == table.num_groups
+        assert back.space.labels == table.space.labels
+
+    def test_round_trip_game_equality(self, table):
+        back = payoff_table_from_dict(payoff_table_to_dict(table))
+        assert np.allclose(back.to_game().payoffs, table.to_game().payoffs)
+
+    def test_explicit_selectors(self, table, space):
+        data = payoff_table_to_dict(table)
+        back = payoff_table_from_dict(data, selectors=list(space.selectors))
+        assert back.space.labels == table.space.labels
+
+    def test_mismatched_selectors_rejected(self, table):
+        data = payoff_table_to_dict(table)
+        with pytest.raises(ReproError, match="do not match"):
+            payoff_table_from_dict(data, selectors=[RandomSeeds(), DegreeDiscount()])
+
+
+class TestResultSerialization:
+    def test_result_dict_fields(self, result):
+        data = result_to_dict(result)
+        assert data["kind"] in {"pure", "mixed"}
+        assert len(data["probabilities"]) == 2
+        assert data["payoff_table"] is not None
+
+    def test_save_and_reload(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        table = load_payoff_table(path)
+        assert table.space.labels == ["ddic", "random"]
+        assert np.allclose(
+            table.to_game().payoffs, result.payoff_table.to_game().payoffs
+        )
+
+    def test_load_missing_table_rejected(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"payoff_table": None}))
+        with pytest.raises(ReproError, match="no payoff table"):
+            load_payoff_table(path)
+
+    def test_solve_from_reloaded_table_matches(self, result, tmp_path):
+        """The whole point: persist the expensive table, re-solve cheaply."""
+        from repro.core.getreal import solve_strategy_game
+
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        table = load_payoff_table(path)
+        resolved = solve_strategy_game(table.to_game(), table.space, table)
+        assert resolved.kind == result.kind
+        assert np.allclose(
+            resolved.mixture.probabilities, result.mixture.probabilities
+        )

@@ -1,0 +1,102 @@
+"""Tests for StrategySpace and MixedStrategy."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.degree_discount import DegreeDiscount
+from repro.algorithms.heuristics import HighDegree, RandomSeeds
+from repro.algorithms.single_discount import SingleDiscount
+from repro.core.strategy import MixedStrategy, StrategySpace
+from repro.errors import SeedSelectionError
+from repro.utils.rng import as_rng
+
+
+@pytest.fixture
+def space() -> StrategySpace:
+    return StrategySpace([DegreeDiscount(0.05), RandomSeeds()])
+
+
+class TestStrategySpace:
+    def test_size_and_labels(self, space):
+        assert space.size == 2
+        assert space.labels == ["ddic", "random"]
+
+    def test_indexing_and_iteration(self, space):
+        assert space[0].name == "ddic"
+        assert [s.name for s in space] == ["ddic", "random"]
+
+    def test_index_of(self, space):
+        assert space.index_of("random") == 1
+
+    def test_index_of_missing(self, space):
+        with pytest.raises(SeedSelectionError, match="no strategy named"):
+            space.index_of("mgic")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SeedSelectionError, match="empty"):
+            StrategySpace([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SeedSelectionError, match="unique"):
+            StrategySpace([RandomSeeds(), RandomSeeds()])
+
+    def test_three_strategies(self):
+        space = StrategySpace([DegreeDiscount(), SingleDiscount(), HighDegree()])
+        assert space.size == 3
+
+
+class TestMixedStrategy:
+    def test_construction(self, space):
+        mix = MixedStrategy(space, [0.6, 0.4])
+        assert np.allclose(mix.probabilities, [0.6, 0.4])
+
+    def test_probabilities_read_only(self, space):
+        mix = MixedStrategy(space, [0.6, 0.4])
+        with pytest.raises(ValueError):
+            mix.probabilities[0] = 0.9
+
+    def test_pure_factory(self, space):
+        mix = MixedStrategy.pure(space, 1)
+        assert mix.is_pure
+        assert mix.support == [1]
+
+    def test_uniform_factory(self, space):
+        mix = MixedStrategy.uniform(space)
+        assert np.allclose(mix.probabilities, [0.5, 0.5])
+        assert not mix.is_pure
+
+    def test_bad_distribution_rejected(self, space):
+        with pytest.raises(ValueError):
+            MixedStrategy(space, [0.6, 0.6])
+
+    def test_wrong_length_rejected(self, space):
+        with pytest.raises(SeedSelectionError, match="weights"):
+            MixedStrategy(space, [1.0])
+
+    def test_sample_distribution(self, space):
+        mix = MixedStrategy(space, [0.8, 0.2])
+        rng = as_rng(0)
+        counts = {"ddic": 0, "random": 0}
+        for _ in range(2000):
+            counts[mix.sample(rng).name] += 1
+        assert counts["ddic"] / 2000 == pytest.approx(0.8, abs=0.03)
+
+    def test_pure_sample_is_constant(self, space):
+        mix = MixedStrategy.pure(space, 0)
+        rng = as_rng(1)
+        assert all(mix.sample(rng).name == "ddic" for _ in range(20))
+
+    def test_select_runs_selected_algorithm(self, space, karate):
+        mix = MixedStrategy.pure(space, 0)
+        seeds = mix.select(karate, 4, rng=2)
+        assert len(seeds) == 4
+        assert len(set(seeds)) == 4
+
+    def test_describe_shows_support_only(self, space):
+        mix = MixedStrategy(space, [1.0, 0.0])
+        assert mix.describe() == "1.000*ddic"
+
+    def test_describe_mixed(self, space):
+        mix = MixedStrategy(space, [0.582, 0.418])
+        assert "0.582*ddic" in mix.describe()
+        assert "0.418*random" in mix.describe()

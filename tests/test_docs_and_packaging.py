@@ -1,0 +1,119 @@
+"""Meta tests: documentation, packaging, and public-API hygiene."""
+
+import importlib
+import pkgutil
+from pathlib import Path
+
+import pytest
+
+import repro
+
+REPO_ROOT = Path(repro.__file__).resolve().parents[2]
+
+
+def _all_modules() -> list[str]:
+    names = []
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        # __main__ calls sys.exit(cli.main()) on import, by design.
+        if module_info.name.endswith("__main__"):
+            continue
+        names.append(module_info.name)
+    return names
+
+
+class TestModuleHygiene:
+    def test_every_module_imports(self):
+        for name in _all_modules():
+            importlib.import_module(name)
+
+    def test_every_module_has_docstring(self):
+        for name in _all_modules():
+            module = importlib.import_module(name)
+            assert module.__doc__, f"{name} lacks a module docstring"
+
+    def test_public_classes_and_functions_documented(self):
+        import inspect
+
+        for name in _all_modules():
+            module = importlib.import_module(name)
+            for attr_name in getattr(module, "__all__", []) or []:
+                obj = getattr(module, attr_name)
+                if inspect.isclass(obj) or inspect.isfunction(obj):
+                    assert obj.__doc__, f"{name}.{attr_name} lacks a docstring"
+
+    def test_top_level_all_is_sorted_into_sections(self):
+        # Every __all__ entry resolves and is importable from the package.
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+    def test_py_typed_marker_present(self):
+        assert (Path(repro.__file__).parent / "py.typed").exists()
+
+
+class TestDocumentationFiles:
+    @pytest.mark.parametrize(
+        "relative",
+        [
+            "README.md",
+            "DESIGN.md",
+            "EXPERIMENTS.md",
+            "docs/architecture.md",
+            "docs/algorithms.md",
+            "docs/game_theory.md",
+            "docs/competitive_model.md",
+            "docs/api.md",
+            "docs/datasets.md",
+            "CONTRIBUTING.md",
+            "CHANGELOG.md",
+        ],
+    )
+    def test_doc_exists_and_nontrivial(self, relative):
+        path = REPO_ROOT / relative
+        assert path.exists(), f"missing {relative}"
+        assert len(path.read_text()) > 500
+
+    def test_design_references_existing_benchmarks(self):
+        text = (REPO_ROOT / "DESIGN.md").read_text()
+        bench_dir = REPO_ROOT / "benchmarks"
+        for line in text.splitlines():
+            if "benchmarks/bench_" in line:
+                for token in line.split("`"):
+                    if token.startswith("benchmarks/bench_"):
+                        assert (REPO_ROOT / token).exists(), token
+
+    def test_readme_examples_exist(self):
+        text = (REPO_ROOT / "README.md").read_text()
+        for line in text.splitlines():
+            if "examples/" in line and ".py" in line:
+                for token in line.replace("`", " ").split():
+                    if token.startswith("examples/") and token.endswith(".py"):
+                        assert (REPO_ROOT / token).exists(), token
+
+
+class TestBenchmarkCoverage:
+    """Every table and figure of the paper has a benchmark file."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "bench_table3_datasets.py",
+            "bench_fig3_jaccard_ic.py",
+            "bench_fig4_jaccard_wc.py",
+            "bench_fig5_hep_spread.py",
+            "bench_fig6_phy_spread.py",
+            "bench_fig7_wiki_spread.py",
+            "bench_fig8_mixed_vs_random.py",
+            "bench_fig9_mixed_profiles.py",
+            "bench_table4_response_time.py",
+            "bench_fig10_coefficients.py",
+        ],
+    )
+    def test_paper_experiment_bench_exists(self, name):
+        assert (REPO_ROOT / "benchmarks" / name).exists()
+
+    def test_ablation_and_extension_benches_exist(self):
+        bench_dir = REPO_ROOT / "benchmarks"
+        ablations = list(bench_dir.glob("bench_ablation_*.py"))
+        extensions = list(bench_dir.glob("bench_ext_*.py"))
+        assert len(ablations) >= 4
+        assert len(extensions) >= 6

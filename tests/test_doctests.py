@@ -1,0 +1,20 @@
+"""Run the doctests embedded in docstrings of the pure-utility modules."""
+
+import doctest
+
+import pytest
+
+import repro.utils.charts
+import repro.utils.tables
+import repro.utils.timing
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.utils.tables, repro.utils.charts, repro.utils.timing],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0

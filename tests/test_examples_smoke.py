@@ -1,0 +1,71 @@
+"""Smoke tests: the example scripts run to completion.
+
+Only the fast examples run under pytest (the heavier ones are exercised
+manually / by the benchmark suite); each is invoked as a subprocess so
+import side effects and ``__main__`` guards are covered too.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _run(script: str, timeout: int = 240) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExampleScripts:
+    def test_all_examples_exist(self):
+        expected = {
+            "quickstart.py",
+            "smartphone_war.py",
+            "three_player_market.py",
+            "strategy_tournament.py",
+            "market_timeline.py",
+            "custom_dataset.py",
+            "reproduce_paper.py",
+        }
+        assert expected <= {p.name for p in EXAMPLES.glob("*.py")}
+
+    def test_quickstart_runs(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "equilibrium type" in result.stdout
+        assert "seeds to target" in result.stdout
+
+    def test_reproduce_paper_rejects_unknown(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "reproduce_paper.py"), "fig99"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 2
+        assert "unknown experiment" in result.stdout
+
+    def test_reproduce_paper_table3(self, monkeypatch):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "reproduce_paper.py"), "table3"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env={
+                "REPRO_BENCH_NODES": "300",
+                "REPRO_BENCH_ROUNDS": "3",
+                "REPRO_BENCH_SNAPSHOTS": "5",
+                "REPRO_BENCH_KS": "3",
+                "PATH": "/usr/bin:/bin:/usr/local/bin",
+                "HOME": "/root",
+            },
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Table 3" in result.stdout

@@ -1,0 +1,169 @@
+"""Tests for the experiment harness (config + runners) at tiny scale."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runners import (
+    coefficient_rows,
+    jaccard_rows,
+    mixed_vs_random_rows,
+    profile_rows,
+    response_time_rows,
+    spread_rows,
+    table3_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def config() -> ExperimentConfig:
+    return ExperimentConfig(
+        nodes_budget=350, rounds=4, snapshots=6, ks=(5, 10), seed=1, ic_probability=0.05
+    )
+
+
+class TestConfig:
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_NODES", "999")
+        monkeypatch.setenv("REPRO_BENCH_KS", "3,7")
+        cfg = ExperimentConfig()
+        assert cfg.nodes_budget == 999
+        assert cfg.ks == (3, 7)
+
+    def test_scale_for_caps_at_one(self, config):
+        assert config.scale_for("hep") == pytest.approx(350 / 15_233)
+        big = ExperimentConfig(nodes_budget=10**9)
+        assert big.scale_for("hep") == 1.0
+
+    def test_load_caches(self, config):
+        assert config.load("hep") is config.load("hep")
+
+    def test_unknown_dataset(self, config):
+        with pytest.raises(ExperimentError, match="unknown dataset"):
+            config.load("nope")
+
+    def test_models(self, config):
+        assert config.model("ic").name == "ic"
+        assert config.model("wc").name == "wc"
+        with pytest.raises(ExperimentError):
+            config.model("lt-ish")
+
+    def test_strategy_spaces_match_paper(self, config):
+        assert config.strategy_space("ic").labels == ["mgic", "ddic"]
+        assert config.strategy_space("wc").labels == ["mgwc", "sdwc"]
+
+
+class TestTable3:
+    def test_rows(self, config):
+        rows = table3_rows(config)
+        assert [r["network"] for r in rows] == ["hep", "phy", "wiki"]
+        assert rows[0]["paper_nodes"] == 15_233
+        assert all(r["bench_nodes"] > 0 for r in rows)
+
+
+class TestJaccard:
+    def test_row_structure(self, config):
+        rows = jaccard_rows(config, "ic", datasets=("hep",), repeats=2)
+        # 3 pairs x 2 ks.
+        assert len(rows) == 6
+        assert all(0.0 <= r["jaccard"] <= 1.0 for r in rows)
+
+    def test_same_algorithm_pairs_overlap_most(self, config):
+        rows = jaccard_rows(config, "wc", datasets=("hep",), repeats=3)
+        by_pair: dict[str, list[float]] = {}
+        for r in rows:
+            by_pair.setdefault(r["pair"], []).append(r["jaccard"])
+        mean = {p: sum(v) / len(v) for p, v in by_pair.items()}
+        # Deterministic-ish heuristic pair overlaps more than cross pair.
+        assert mean["sdwc-sdwc"] >= mean["sdwc-mgwc"]
+
+
+class TestSpreadRows:
+    def test_structure(self, config):
+        rows = spread_rows(config, "hep", "ic")
+        # 2 panels x 2 ks x (2 competitive + 2 singleton curves).
+        assert len(rows) == 16
+        panels = {r["panel"] for r in rows}
+        assert panels == {"p2=mgic", "p2=ddic"}
+        curves = {r["curve"] for r in rows}
+        assert curves == {"mgic", "ddic", "s-mgic", "s-ddic"}
+
+    def test_singleton_upper_bounds_competitive(self, config):
+        """s-φ (no competition) should not be dramatically below the
+        competitive spread of the same strategy."""
+        rows = spread_rows(config, "hep", "wc")
+        for k in config.ks:
+            single = next(
+                r["spread"]
+                for r in rows
+                if r["panel"] == "p2=mgwc" and r["k"] == k and r["curve"] == "s-mgwc"
+            )
+            comp = next(
+                r["spread"]
+                for r in rows
+                if r["panel"] == "p2=mgwc" and r["k"] == k and r["curve"] == "mgwc"
+            )
+            assert comp <= single * 1.3 + 5
+
+
+class TestMixedVsRandom:
+    def test_structure(self, config):
+        rows = mixed_vs_random_rows(
+            config, dataset="hep", model_kind="wc", simulation_rounds=4
+        )
+        assert len(rows) == 4  # 2 strategies x 2 ks
+        assert {r["strategy"] for r in rows} == {"mixed", "random"}
+        assert all(r["spread_p1"] >= 0 for r in rows)
+
+
+class TestProfileRows:
+    def test_structure(self, config):
+        rows = profile_rows(config, dataset="hep", model_kind="wc")
+        # per k: 4 pure profiles + 1 mixed row.
+        assert len(rows) == 2 * 5
+        mixed = [r for r in rows if r["profile"] == "mixed"]
+        assert len(mixed) == 2
+
+    def test_mixed_within_pure_envelope(self, config):
+        """The mixed expectation is a convex combination of the pure-profile
+        payoffs, so it must lie inside their min/max envelope."""
+        rows = profile_rows(config, dataset="hep", model_kind="wc")
+        for k in config.ks:
+            pure = [
+                r["spread_p1"]
+                for r in rows
+                if r["k"] == k and r["profile"] != "mixed"
+            ]
+            mixed = next(
+                r["spread_p1"] for r in rows if r["k"] == k and r["profile"] == "mixed"
+            )
+            assert min(pure) - 1e-9 <= mixed <= max(pure) + 1e-9
+
+
+class TestResponseTime:
+    def test_structure(self, config):
+        rows = response_time_rows(config, datasets=("hep",), repeats=2)
+        # 2 models x 2 orders.
+        assert len(rows) == 4
+        assert {r["r=z"] for r in rows} == {2, 3}
+        assert all(r["ne_seconds"] >= 0 for r in rows)
+        assert all(r["kind"] in {"pure", "mixed"} for r in rows)
+
+    def test_subsecond_ne_search(self, config):
+        """Table 4's headline: NE search is sub-second at r=z<=3."""
+        rows = response_time_rows(config, datasets=("hep",), repeats=2)
+        assert all(r["ne_seconds"] < 1.0 for r in rows)
+
+
+class TestCoefficients:
+    def test_structure(self, config):
+        rows = coefficient_rows(config, "hep", "wc")
+        assert len(rows) == 2
+        assert {"gamma", "lambda", "alpha+beta"} <= set(rows[0])
+
+    def test_values_in_plausible_ranges(self, config):
+        rows = coefficient_rows(config, "hep", "wc")
+        for r in rows:
+            assert 0.3 <= r["lambda"] <= 1.3
+            assert 0.3 <= r["gamma"] <= 1.3
+            assert 0.7 <= r["alpha+beta"] <= 2.2

@@ -1,0 +1,77 @@
+"""Tests for the structured paper-expectations module."""
+
+import pytest
+
+from repro.experiments.paper import (
+    FIGURE10,
+    MIXED_SCENARIO,
+    QUALITATIVE_CLAIMS,
+    TABLE3,
+    TABLE4,
+    table4_shape_holds,
+    theorem1_holds,
+)
+
+
+class TestPaperData:
+    def test_table3_sizes(self):
+        by_name = {d.name: d for d in TABLE3}
+        assert by_name["hep"].nodes == 15_233
+        assert by_name["phy"].edges == 231_584
+        assert by_name["wiki"].nodes == 2_394_385
+
+    def test_table4_complete(self):
+        # 3 datasets x 2 models x 2 orders.
+        assert len(TABLE4) == 12
+        assert all(0 < t.seconds < 1.0 for t in TABLE4)
+        assert {(t.dataset, t.model, t.order) for t in TABLE4} == {
+            (d, m, o)
+            for d in ("hep", "phy", "wiki")
+            for m in ("ic", "wc")
+            for o in (2, 3)
+        }
+
+    def test_table4_worst_case_is_wiki_wc_3(self):
+        worst = max(TABLE4, key=lambda t: t.seconds)
+        assert (worst.dataset, worst.model, worst.order) == ("wiki", "wc", 3)
+        assert worst.seconds == 0.44
+
+    def test_figure10_ranges_well_formed(self):
+        for cr in FIGURE10:
+            for lo, hi in (
+                cr.lambda_range,
+                cr.gamma_range,
+                cr.alpha_plus_beta_range,
+            ):
+                assert lo <= hi
+
+    def test_mixed_scenario(self):
+        assert MIXED_SCENARIO["rho_mgwc"] + MIXED_SCENARIO["rho_sdwc"] == pytest.approx(
+            1.0
+        )
+        assert MIXED_SCENARIO["dataset"] == "hep"
+        assert MIXED_SCENARIO["model"] == "wc"
+
+    def test_qualitative_claims_non_empty(self):
+        assert len(QUALITATIVE_CLAIMS) >= 5
+
+
+class TestShapeChecks:
+    def test_theorem1_holds_on_paper_values(self):
+        # The paper's own measured ranges must satisfy the check.
+        assert theorem1_holds(0.56, 0.55, 1.12)
+        assert theorem1_holds(0.51, 0.52, 1.25)
+
+    def test_theorem1_rejects_wild_values(self):
+        assert not theorem1_holds(0.1, 0.5, 1.1)
+        assert not theorem1_holds(0.55, 0.55, 0.4)
+
+    def test_theorem1_slack(self):
+        assert theorem1_holds(0.4, 0.4, 0.8, slack=0.15)
+        assert not theorem1_holds(0.4, 0.4, 0.8, slack=0.01)
+
+    def test_table4_shape(self):
+        assert table4_shape_holds(0.05, 2)
+        assert table4_shape_holds(0.9, 3)
+        assert not table4_shape_holds(1.5, 3)
+        assert table4_shape_holds(5.0, 4)

@@ -1,0 +1,55 @@
+"""Tests for the experiment-suite orchestrator."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.suite import EXPERIMENTS, run_suite
+
+
+@pytest.fixture
+def tiny_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        nodes_budget=250, rounds=3, snapshots=5, ks=(3,), seed=0,
+        ic_probability=0.05,
+    )
+
+
+class TestRegistry:
+    def test_covers_every_table_and_figure(self):
+        expected = {
+            "table3", "fig3", "fig4", "fig5_ic", "fig5_wc", "fig6_ic",
+            "fig6_wc", "fig7_ic", "fig7_wc", "fig8", "fig9", "table4",
+            "fig10_hep_ic", "fig10_hep_wc", "fig10_phy_ic", "fig10_phy_wc",
+            "fig10_wiki_ic", "fig10_wiki_wc", "sensitivity",
+        }
+        assert set(EXPERIMENTS) == expected
+
+
+class TestRunSuite:
+    def test_subset_writes_outputs(self, tiny_config, tmp_path):
+        manifest = run_suite(
+            tmp_path / "results", config=tiny_config, only=["table3", "fig5_ic"]
+        )
+        assert set(manifest["experiments"]) == {"table3", "fig5_ic"}
+        assert (tmp_path / "results" / "table3.txt").exists()
+        assert (tmp_path / "results" / "table3.csv").exists()
+        assert (tmp_path / "results" / "fig5_ic.txt").exists()
+        assert (tmp_path / "results" / "manifest.json").exists()
+
+    def test_manifest_contents(self, tiny_config, tmp_path):
+        run_suite(tmp_path / "out", config=tiny_config, only=["table3"])
+        manifest = json.loads((tmp_path / "out" / "manifest.json").read_text())
+        assert manifest["config"]["nodes_budget"] == 250
+        assert manifest["experiments"]["table3"]["rows"] == 3
+        assert manifest["experiments"]["table3"]["seconds"] >= 0
+
+    def test_unknown_id_rejected(self, tiny_config, tmp_path):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            run_suite(tmp_path, config=tiny_config, only=["fig99"])
+
+    def test_creates_nested_directories(self, tiny_config, tmp_path):
+        run_suite(tmp_path / "a" / "b", config=tiny_config, only=["table3"])
+        assert (tmp_path / "a" / "b" / "table3.txt").exists()

@@ -1,0 +1,88 @@
+"""Tests for correlated equilibria."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GameError
+from repro.game.correlated import (
+    correlated_equilibrium,
+    expected_payoffs,
+    is_correlated_equilibrium,
+)
+from repro.game.normal_form import NormalFormGame
+
+
+def chicken() -> NormalFormGame:
+    """The classic CE showcase: welfare-best CE beats every Nash outcome."""
+    a = np.array([[6.0, 2.0], [7.0, 0.0]])
+    return NormalFormGame.from_bimatrix(a)
+
+
+class TestCorrelatedEquilibrium:
+    def test_returns_distribution(self):
+        ce = correlated_equilibrium(chicken())
+        assert sum(ce.values()) == pytest.approx(1.0)
+        assert all(p >= 0 for p in ce.values())
+
+    def test_satisfies_incentive_constraints(self):
+        ce = correlated_equilibrium(chicken())
+        assert is_correlated_equilibrium(chicken(), ce)
+
+    def test_welfare_at_least_best_nash(self):
+        """In chicken, the welfare-optimal CE weakly beats every NE's welfare."""
+        game = chicken()
+        ce = correlated_equilibrium(game, objective="welfare")
+        ce_welfare = float(expected_payoffs(game, ce).sum())
+        # Nash welfare: pure NEs (C,D)/(D,C) give 9; mixed gives less.
+        assert ce_welfare >= 9.0 - 1e-6
+
+    def test_pd_ce_is_defect(self):
+        # In the prisoner's dilemma the only CE is mutual defection.
+        a = np.array([[3.0, 0.0], [5.0, 1.0]])
+        game = NormalFormGame.from_bimatrix(a)
+        ce = correlated_equilibrium(game)
+        assert ce.get((1, 1), 0.0) == pytest.approx(1.0, abs=1e-8)
+
+    def test_any_objective_feasible(self):
+        ce = correlated_equilibrium(chicken(), objective="any")
+        assert is_correlated_equilibrium(chicken(), ce)
+
+    def test_bad_objective(self):
+        with pytest.raises(GameError):
+            correlated_equilibrium(chicken(), objective="chaos")
+
+    def test_three_player_game(self):
+        # Everyone's payoff equals their own action: CE must put all mass
+        # on (1, 1, 1).
+        tensor = np.zeros((2, 2, 2, 3))
+        for profile in np.ndindex(2, 2, 2):
+            for i in range(3):
+                tensor[profile + (i,)] = float(profile[i])
+        game = NormalFormGame(tensor)
+        ce = correlated_equilibrium(game)
+        assert ce.get((1, 1, 1), 0.0) == pytest.approx(1.0, abs=1e-8)
+
+    def test_nash_is_ce(self):
+        # The mixed Nash of matching pennies (product of uniforms) is a CE.
+        a = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        game = NormalFormGame(np.stack([a, -a], axis=-1))
+        uniform = {profile: 0.25 for profile in game.profiles()}
+        assert is_correlated_equilibrium(game, uniform)
+
+    def test_non_equilibrium_rejected_by_checker(self):
+        a = np.array([[3.0, 0.0], [5.0, 1.0]])
+        game = NormalFormGame.from_bimatrix(a)
+        cooperate = {(0, 0): 1.0}
+        assert not is_correlated_equilibrium(game, cooperate)
+
+
+class TestExpectedPayoffs:
+    def test_point_mass(self):
+        game = chicken()
+        values = expected_payoffs(game, {(0, 1): 1.0})
+        assert values.tolist() == [2.0, 7.0]
+
+    def test_mixture(self):
+        game = chicken()
+        values = expected_payoffs(game, {(0, 1): 0.5, (1, 0): 0.5})
+        assert values.tolist() == [4.5, 4.5]

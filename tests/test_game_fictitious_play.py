@@ -1,0 +1,54 @@
+"""Tests for symmetric fictitious play."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GameError
+from repro.game.fictitious_play import fictitious_play
+from repro.game.mixed import regret_of_symmetric_mixture
+from repro.game.normal_form import NormalFormGame
+
+
+def hawk_dove() -> NormalFormGame:
+    return NormalFormGame.from_bimatrix(np.array([[0.0, 3.0], [1.0, 2.0]]))
+
+
+class TestFictitiousPlay:
+    def test_returns_distribution(self):
+        mixture = fictitious_play(hawk_dove(), steps=500, rng=0)
+        assert mixture.shape == (2,)
+        assert mixture.sum() == pytest.approx(1.0)
+        assert np.all(mixture >= 0)
+
+    def test_dominant_strategy_absorbs(self):
+        pd = NormalFormGame.from_bimatrix(np.array([[3.0, 0.0], [5.0, 1.0]]))
+        mixture = fictitious_play(pd, steps=800, rng=1)
+        assert mixture[1] > 0.95
+
+    def test_hawk_dove_converges_to_interior(self):
+        mixture = fictitious_play(hawk_dove(), steps=4000, rng=2)
+        assert mixture[0] == pytest.approx(0.5, abs=0.05)
+        assert regret_of_symmetric_mixture(hawk_dove(), mixture) < 0.05
+
+    def test_rps_empirical_near_uniform(self):
+        a = np.array([[0.0, -1.0, 1.0], [1.0, 0.0, -1.0], [-1.0, 1.0, 0.0]])
+        game = NormalFormGame.from_bimatrix(a)
+        mixture = fictitious_play(game, steps=6000, rng=3)
+        assert np.allclose(mixture, [1 / 3] * 3, atol=0.08)
+
+    def test_agrees_with_indifference_solver(self):
+        from repro.game.mixed import symmetric_mixed_equilibrium
+
+        game = hawk_dove()
+        fp = fictitious_play(game, steps=5000, rng=4)
+        exact = symmetric_mixed_equilibrium(game)
+        assert np.allclose(fp, exact, atol=0.05)
+
+    def test_bad_steps(self):
+        with pytest.raises(GameError, match="steps"):
+            fictitious_play(hawk_dove(), steps=0)
+
+    def test_requires_square(self):
+        game = NormalFormGame.from_bimatrix(np.zeros((2, 3)), np.zeros((2, 3)))
+        with pytest.raises(GameError):
+            fictitious_play(game)

@@ -1,0 +1,143 @@
+"""Tests for NormalFormGame."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GameError
+from repro.game.normal_form import NormalFormGame
+
+
+def prisoners_dilemma() -> NormalFormGame:
+    # Actions: 0 = cooperate, 1 = defect.
+    a = np.array([[3.0, 0.0], [5.0, 1.0]])
+    return NormalFormGame.from_bimatrix(a, a.T, action_labels=["C", "D"])
+
+
+class TestConstruction:
+    def test_shape_properties(self):
+        game = prisoners_dilemma()
+        assert game.num_players == 2
+        assert game.num_actions(0) == 2
+        assert game.num_actions(1) == 2
+
+    def test_payoff_lookup(self):
+        game = prisoners_dilemma()
+        assert game.payoff((0, 1), 0) == 0.0
+        assert game.payoff((0, 1), 1) == 5.0
+
+    def test_payoff_vector(self):
+        game = prisoners_dilemma()
+        assert game.payoff_vector((1, 0)).tolist() == [5.0, 0.0]
+
+    def test_three_player_tensor(self):
+        tensor = np.zeros((2, 2, 2, 3))
+        tensor[1, 1, 1] = [1.0, 2.0, 3.0]
+        game = NormalFormGame(tensor)
+        assert game.num_players == 3
+        assert game.payoff((1, 1, 1), 2) == 3.0
+
+    def test_last_axis_must_match_players(self):
+        with pytest.raises(GameError, match="last axis"):
+            NormalFormGame(np.zeros((2, 2, 3)))
+
+    def test_scalar_rejected(self):
+        with pytest.raises(GameError):
+            NormalFormGame(np.zeros(3))
+
+    def test_non_finite_rejected(self):
+        tensor = np.zeros((2, 2, 2))
+        tensor[0, 0, 0] = np.nan
+        with pytest.raises(GameError, match="finite"):
+            NormalFormGame(tensor)
+
+    def test_payoffs_read_only(self):
+        game = prisoners_dilemma()
+        with pytest.raises(ValueError):
+            game.payoffs[0, 0, 0] = 99.0
+
+    def test_profile_validation(self):
+        game = prisoners_dilemma()
+        with pytest.raises(GameError, match="out of range"):
+            game.payoff((0, 5), 0)
+        with pytest.raises(GameError, match="length"):
+            game.payoff((0,), 0)
+        with pytest.raises(GameError, match="player"):
+            game.payoff((0, 0), 2)
+
+    def test_profiles_enumeration(self):
+        game = prisoners_dilemma()
+        assert sorted(game.profiles()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_repr(self):
+        assert "players=2" in repr(prisoners_dilemma())
+
+
+class TestBimatrix:
+    def test_round_trip(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = np.array([[5.0, 6.0], [7.0, 8.0]])
+        game = NormalFormGame.from_bimatrix(a, b)
+        back_a, back_b = game.bimatrix()
+        assert np.array_equal(back_a, a)
+        assert np.array_equal(back_b, b)
+
+    def test_default_is_symmetric(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        game = NormalFormGame.from_bimatrix(a)
+        assert game.is_symmetric()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(GameError, match="share a shape"):
+            NormalFormGame.from_bimatrix(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_vector_rejected(self):
+        with pytest.raises(GameError, match="matrix"):
+            NormalFormGame.from_bimatrix(np.zeros(4))
+
+    def test_bimatrix_requires_two_players(self):
+        game = NormalFormGame(np.zeros((2, 2, 2, 3)))
+        with pytest.raises(GameError, match="2 players"):
+            game.bimatrix()
+
+    def test_non_square_bimatrix_allowed(self):
+        game = NormalFormGame.from_bimatrix(np.zeros((2, 3)), np.zeros((2, 3)))
+        assert game.num_actions(0) == 2
+        assert game.num_actions(1) == 3
+
+
+class TestSymmetry:
+    def test_prisoners_dilemma_symmetric(self):
+        assert prisoners_dilemma().is_symmetric()
+
+    def test_asymmetric_detected(self):
+        a = np.array([[1.0, 0.0], [0.0, 1.0]])
+        b = np.array([[0.0, 1.0], [1.0, 0.0]])
+        game = NormalFormGame.from_bimatrix(a, b)  # matching pennies
+        assert not game.is_symmetric()
+
+    def test_unequal_action_counts_not_symmetric(self):
+        game = NormalFormGame.from_bimatrix(np.zeros((2, 3)), np.zeros((2, 3)))
+        assert not game.is_symmetric()
+
+    def test_three_player_symmetric(self):
+        # Payoff = own action value; independent of who plays what else.
+        tensor = np.zeros((2, 2, 2, 3))
+        for profile in np.ndindex(2, 2, 2):
+            for i in range(3):
+                tensor[profile + (i,)] = float(profile[i])
+        assert NormalFormGame(tensor).is_symmetric()
+
+
+class TestLabels:
+    def test_labels_used(self):
+        game = prisoners_dilemma()
+        assert game.label(0) == "C"
+        assert game.label(1) == "D"
+
+    def test_default_labels(self):
+        game = NormalFormGame.from_bimatrix(np.zeros((2, 2)))
+        assert game.label(1) == "a1"
+
+    def test_wrong_label_count_rejected(self):
+        with pytest.raises(GameError, match="labels"):
+            NormalFormGame.from_bimatrix(np.zeros((2, 2)), action_labels=["x"])

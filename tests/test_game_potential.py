@@ -1,0 +1,84 @@
+"""Tests for potential-game diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GameError
+from repro.game.normal_form import NormalFormGame
+from repro.game.potential import (
+    is_potential_game,
+    potential_function,
+    potential_maximizer,
+)
+from repro.game.pure import is_pure_equilibrium
+
+
+def coordination() -> NormalFormGame:
+    a = np.array([[2.0, 0.0], [0.0, 1.0]])
+    return NormalFormGame.from_bimatrix(a)
+
+
+def prisoners_dilemma() -> NormalFormGame:
+    a = np.array([[3.0, 0.0], [5.0, 1.0]])
+    return NormalFormGame.from_bimatrix(a)
+
+
+def matching_pennies() -> NormalFormGame:
+    a = np.array([[1.0, -1.0], [-1.0, 1.0]])
+    return NormalFormGame(np.stack([a, -a], axis=-1))
+
+
+class TestPotentialFunction:
+    def test_coordination_is_potential(self):
+        assert is_potential_game(coordination())
+
+    def test_pd_is_potential(self):
+        # Dominant-strategy games are exact potential games.
+        assert is_potential_game(prisoners_dilemma())
+
+    def test_matching_pennies_is_not(self):
+        assert not is_potential_game(matching_pennies())
+        assert potential_function(matching_pennies()) is None
+
+    def test_potential_deltas_match_payoff_deltas(self):
+        game = coordination()
+        potential = potential_function(game)
+        for profile in game.profiles():
+            for i in range(2):
+                for a in range(2):
+                    if a == profile[i]:
+                        continue
+                    neighbour = list(profile)
+                    neighbour[i] = a
+                    neighbour = tuple(neighbour)
+                    assert game.payoff(neighbour, i) - game.payoff(
+                        profile, i
+                    ) == pytest.approx(potential[neighbour] - potential[profile])
+
+    def test_origin_normalized_to_zero(self):
+        potential = potential_function(coordination())
+        assert potential[0, 0] == 0.0
+
+    def test_three_player_own_action_game(self):
+        # u_i = own action value: potential is the sum of action values.
+        tensor = np.zeros((2, 2, 2, 3))
+        for profile in np.ndindex(2, 2, 2):
+            for i in range(3):
+                tensor[profile + (i,)] = float(profile[i])
+        game = NormalFormGame(tensor)
+        assert is_potential_game(game)
+        assert potential_maximizer(game) == (1, 1, 1)
+
+
+class TestPotentialMaximizer:
+    def test_maximizer_is_pure_equilibrium(self):
+        for game in (coordination(), prisoners_dilemma()):
+            profile = potential_maximizer(game)
+            assert is_pure_equilibrium(game, profile)
+
+    def test_coordination_picks_payoff_dominant(self):
+        assert potential_maximizer(coordination()) == (0, 0)
+
+    def test_raises_for_non_potential(self):
+        with pytest.raises(GameError, match="not an exact potential"):
+            potential_maximizer(matching_pennies())

@@ -1,0 +1,140 @@
+"""Tests for pure-strategy equilibrium analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GameError
+from repro.game.normal_form import NormalFormGame
+from repro.game.pure import (
+    best_responses,
+    dominant_actions,
+    is_pure_equilibrium,
+    iterated_elimination_strictly_dominated,
+    pure_nash_equilibria,
+    symmetric_pure_equilibria,
+)
+
+
+def prisoners_dilemma() -> NormalFormGame:
+    a = np.array([[3.0, 0.0], [5.0, 1.0]])
+    return NormalFormGame.from_bimatrix(a)
+
+
+def matching_pennies() -> NormalFormGame:
+    a = np.array([[1.0, -1.0], [-1.0, 1.0]])
+    return NormalFormGame.from_bimatrix(a, -a)
+
+
+def coordination() -> NormalFormGame:
+    a = np.array([[2.0, 0.0], [0.0, 1.0]])
+    return NormalFormGame.from_bimatrix(a)
+
+
+class TestBestResponses:
+    def test_pd_defect_always_best(self):
+        game = prisoners_dilemma()
+        assert best_responses(game, 0, [0]) == [1]
+        assert best_responses(game, 0, [1]) == [1]
+
+    def test_ties_return_all(self):
+        game = NormalFormGame.from_bimatrix(np.array([[1.0, 1.0], [1.0, 1.0]]))
+        assert best_responses(game, 0, [0]) == [0, 1]
+
+    def test_wrong_opponent_count(self):
+        with pytest.raises(GameError, match="opponent"):
+            best_responses(prisoners_dilemma(), 0, [0, 1])
+
+
+class TestIsPureEquilibrium:
+    def test_pd_defect_defect(self):
+        game = prisoners_dilemma()
+        assert is_pure_equilibrium(game, (1, 1))
+        assert not is_pure_equilibrium(game, (0, 0))
+
+    def test_matching_pennies_has_none(self):
+        game = matching_pennies()
+        for profile in game.profiles():
+            assert not is_pure_equilibrium(game, profile)
+
+
+class TestPureNashEnumeration:
+    def test_pd(self):
+        assert pure_nash_equilibria(prisoners_dilemma()) == [(1, 1)]
+
+    def test_coordination_has_two(self):
+        assert pure_nash_equilibria(coordination()) == [(0, 0), (1, 1)]
+
+    def test_matching_pennies_empty(self):
+        assert pure_nash_equilibria(matching_pennies()) == []
+
+    def test_three_player_dominance(self):
+        # Everyone's payoff is their own action value -> (1,1,1) unique NE.
+        tensor = np.zeros((2, 2, 2, 3))
+        for profile in np.ndindex(2, 2, 2):
+            for i in range(3):
+                tensor[profile + (i,)] = float(profile[i])
+        assert pure_nash_equilibria(NormalFormGame(tensor)) == [(1, 1, 1)]
+
+
+class TestDominantActions:
+    def test_pd_defect_dominant(self):
+        game = prisoners_dilemma()
+        assert dominant_actions(game, 0) == [1]
+        assert dominant_actions(game, 0, strict=True) == [1]
+
+    def test_coordination_no_dominant(self):
+        assert dominant_actions(coordination(), 0) == []
+
+    def test_weak_vs_strict(self):
+        # Row 1 weakly (not strictly) dominates row 0.
+        a = np.array([[1.0, 0.0], [1.0, 1.0]])
+        game = NormalFormGame.from_bimatrix(a, a)
+        assert dominant_actions(game, 0) == [1]
+        assert dominant_actions(game, 0, strict=True) == []
+
+
+class TestSymmetricPureEquilibria:
+    def test_pd_diagonal(self):
+        assert symmetric_pure_equilibria(prisoners_dilemma()) == [1]
+
+    def test_coordination_both_diagonals(self):
+        assert symmetric_pure_equilibria(coordination()) == [0, 1]
+
+    def test_hawk_dove_no_symmetric_pure(self):
+        # Hawk-dove: only asymmetric pure equilibria exist.
+        a = np.array([[0.0, 3.0], [1.0, 2.0]])
+        game = NormalFormGame.from_bimatrix(a)
+        assert symmetric_pure_equilibria(game) == []
+
+    def test_requires_square(self):
+        game = NormalFormGame.from_bimatrix(np.zeros((2, 3)), np.zeros((2, 3)))
+        with pytest.raises(GameError, match="equal action"):
+            symmetric_pure_equilibria(game)
+
+    def test_paper_table2_structure(self):
+        """The paper's Section 4.2 condition: λg >= βh and αg >= γh makes
+        (φ1, φ1) the NE."""
+        g, h = 100.0, 80.0
+        lam, gamma, alpha, beta = 0.55, 0.55, 0.7, 0.5
+        assert lam * g >= beta * h and alpha * g >= gamma * h
+        a = np.array([[lam * g, alpha * g], [beta * h, gamma * h]])
+        game = NormalFormGame.from_bimatrix(a)
+        assert symmetric_pure_equilibria(game) == [0]
+
+
+class TestIteratedElimination:
+    def test_pd_reduces_to_defect(self):
+        surviving = iterated_elimination_strictly_dominated(prisoners_dilemma())
+        assert surviving == [[1], [1]]
+
+    def test_coordination_keeps_everything(self):
+        surviving = iterated_elimination_strictly_dominated(coordination())
+        assert surviving == [[0, 1], [0, 1]]
+
+    def test_two_step_elimination(self):
+        # Classic 2x3 example where a column falls only after a row does.
+        a = np.array([[3.0, 0.0, 1.0], [1.0, 1.0, 1.2]])
+        b = np.array([[1.0, 0.5, 0.0], [1.0, 2.0, 0.5]])
+        game = NormalFormGame(np.stack([a, b], axis=-1))
+        surviving = iterated_elimination_strictly_dominated(game)
+        assert 2 not in surviving[1]  # col 2 strictly dominated by col 0

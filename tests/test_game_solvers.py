@@ -1,0 +1,175 @@
+"""Tests for support enumeration, Lemke-Howson, and replicator dynamics —
+including cross-solver agreement on random games."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GameError
+from repro.game.lemke_howson import lemke_howson
+from repro.game.mixed import regret_of_symmetric_mixture
+from repro.game.normal_form import NormalFormGame
+from repro.game.replicator import replicator_dynamics
+from repro.game.support_enum import support_enumeration
+
+
+def matching_pennies() -> NormalFormGame:
+    a = np.array([[1.0, -1.0], [-1.0, 1.0]])
+    return NormalFormGame.from_bimatrix(a, -a)
+
+
+def hawk_dove() -> NormalFormGame:
+    return NormalFormGame.from_bimatrix(np.array([[0.0, 3.0], [1.0, 2.0]]))
+
+
+def _is_equilibrium(game: NormalFormGame, x: np.ndarray, y: np.ndarray, tol=1e-6):
+    a, b = game.bimatrix()
+    row_payoffs = a @ y
+    col_payoffs = x @ b
+    value_x = x @ row_payoffs
+    value_y = col_payoffs @ y
+    return row_payoffs.max() <= value_x + tol and col_payoffs.max() <= value_y + tol
+
+
+class TestSupportEnumeration:
+    def test_matching_pennies_unique_mixed(self):
+        eqs = support_enumeration(matching_pennies())
+        assert len(eqs) == 1
+        x, y = eqs[0]
+        assert np.allclose(x, [0.5, 0.5])
+        assert np.allclose(y, [0.5, 0.5])
+
+    def test_pd_unique_pure(self):
+        a = np.array([[3.0, 0.0], [5.0, 1.0]])
+        eqs = support_enumeration(NormalFormGame.from_bimatrix(a))
+        assert len(eqs) == 1
+        x, y = eqs[0]
+        assert np.allclose(x, [0, 1]) and np.allclose(y, [0, 1])
+
+    def test_hawk_dove_three_equilibria(self):
+        eqs = support_enumeration(hawk_dove())
+        assert len(eqs) == 3  # two asymmetric pure + one symmetric mixed
+
+    def test_all_results_are_equilibria(self):
+        for game in (matching_pennies(), hawk_dove()):
+            for x, y in support_enumeration(game):
+                assert _is_equilibrium(game, x, y)
+
+    def test_non_square_game(self):
+        a = np.array([[1.0, 0.0, -1.0], [0.0, 1.0, 2.0]])
+        b = np.array([[0.5, 1.0, 0.0], [1.0, 0.0, 0.3]])
+        game = NormalFormGame(np.stack([a, b], axis=-1))
+        eqs = support_enumeration(game)
+        assert eqs  # at least one exists
+        for x, y in eqs:
+            assert _is_equilibrium(game, x, y)
+
+    def test_rejects_three_players(self):
+        with pytest.raises(GameError, match="2 players"):
+            support_enumeration(NormalFormGame(np.zeros((2, 2, 2, 3))))
+
+
+class TestLemkeHowson:
+    def test_matching_pennies(self):
+        x, y = lemke_howson(matching_pennies())
+        assert np.allclose(x, [0.5, 0.5])
+        assert np.allclose(y, [0.5, 0.5])
+
+    def test_pd(self):
+        a = np.array([[3.0, 0.0], [5.0, 1.0]])
+        game = NormalFormGame.from_bimatrix(a)
+        x, y = lemke_howson(game)
+        assert np.allclose(x, [0, 1]) and np.allclose(y, [0, 1])
+
+    def test_every_initial_label_yields_an_equilibrium(self):
+        game = hawk_dove()
+        for label in range(4):
+            x, y = lemke_howson(game, initial_label=label)
+            assert _is_equilibrium(game, x, y)
+
+    def test_result_in_support_enumeration_set(self):
+        game = hawk_dove()
+        eqs = support_enumeration(game)
+        x, y = lemke_howson(game)
+        assert any(
+            np.allclose(x, ex, atol=1e-6) and np.allclose(y, ey, atol=1e-6)
+            for ex, ey in eqs
+        )
+
+    def test_negative_payoffs_handled(self):
+        a = np.array([[-5.0, -1.0], [-2.0, -4.0]])
+        b = np.array([[-1.0, -3.0], [-2.0, -1.0]])
+        game = NormalFormGame(np.stack([a, b], axis=-1))
+        x, y = lemke_howson(game)
+        assert _is_equilibrium(game, x, y)
+
+    def test_bad_label_rejected(self):
+        with pytest.raises(GameError, match="initial_label"):
+            lemke_howson(matching_pennies(), initial_label=9)
+
+    def test_rejects_three_players(self):
+        with pytest.raises(GameError, match="2 players"):
+            lemke_howson(NormalFormGame(np.zeros((2, 2, 2, 3))))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_games_agree_with_support_enum(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.random((3, 3))
+        b = rng.random((3, 3))
+        game = NormalFormGame(np.stack([a, b], axis=-1))
+        x, y = lemke_howson(game)
+        assert _is_equilibrium(game, x, y, tol=1e-5)
+        eqs = support_enumeration(game, atol=1e-7)
+        assert any(
+            np.allclose(x, ex, atol=1e-4) and np.allclose(y, ey, atol=1e-4)
+            for ex, ey in eqs
+        )
+
+
+class TestReplicatorDynamics:
+    def test_rps_time_average_near_uniform(self):
+        a = np.array([[0.0, -1.0, 1.0], [1.0, 0.0, -1.0], [-1.0, 1.0, 0.0]])
+        game = NormalFormGame.from_bimatrix(a)
+        # The discrete map spirals away from the unstable interior point,
+        # but the time average converges to the equilibrium.
+        mixture = replicator_dynamics(game, steps=3000, rng=0, average=True)
+        assert np.allclose(mixture, [1 / 3, 1 / 3, 1 / 3], atol=0.1)
+        assert mixture.sum() == pytest.approx(1.0)
+
+    def test_rps_endpoint_leaves_interior(self):
+        a = np.array([[0.0, -1.0, 1.0], [1.0, 0.0, -1.0], [-1.0, 1.0, 0.0]])
+        game = NormalFormGame.from_bimatrix(a)
+        endpoint = replicator_dynamics(game, steps=3000, rng=0)
+        assert endpoint.min() < 0.05  # spiraled out, as theory predicts
+
+    def test_dominant_strategy_absorbs(self):
+        a = np.array([[3.0, 0.0], [5.0, 1.0]])
+        game = NormalFormGame.from_bimatrix(a)
+        mixture = replicator_dynamics(game, steps=2000, rng=1)
+        assert mixture[1] > 0.99
+
+    def test_hawk_dove_finds_interior(self):
+        mixture = replicator_dynamics(hawk_dove(), steps=3000, rng=2)
+        assert regret_of_symmetric_mixture(hawk_dove(), mixture) < 1e-3
+        assert mixture[0] == pytest.approx(0.5, abs=0.01)
+
+    def test_explicit_initial(self):
+        mixture = replicator_dynamics(
+            hawk_dove(), steps=500, initial=np.array([0.9, 0.1])
+        )
+        assert mixture.sum() == pytest.approx(1.0)
+
+    def test_bad_initial_shape(self):
+        with pytest.raises(GameError):
+            replicator_dynamics(hawk_dove(), initial=np.array([1.0]))
+
+    def test_requires_square(self):
+        game = NormalFormGame.from_bimatrix(np.zeros((2, 3)), np.zeros((2, 3)))
+        with pytest.raises(GameError):
+            replicator_dynamics(game)
+
+    def test_three_player_volunteers(self):
+        from tests.test_game_mixed import volunteers_dilemma
+
+        game = volunteers_dilemma(3)
+        mixture = replicator_dynamics(game, steps=8000, rng=3)
+        assert mixture[0] == pytest.approx(1 - 0.5**0.5, abs=0.01)

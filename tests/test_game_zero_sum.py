@@ -1,0 +1,94 @@
+"""Tests for the zero-sum LP solver and security levels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GameError
+from repro.game.normal_form import NormalFormGame
+from repro.game.zero_sum import minimax_strategy, security_levels, solve_zero_sum
+
+
+class TestMinimaxStrategy:
+    def test_matching_pennies(self):
+        a = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        x, value = minimax_strategy(a)
+        assert np.allclose(x, [0.5, 0.5])
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_dominant_row(self):
+        a = np.array([[5.0, 4.0], [1.0, 0.0]])
+        x, value = minimax_strategy(a)
+        assert np.allclose(x, [1.0, 0.0])
+        assert value == pytest.approx(4.0)
+
+    def test_rock_paper_scissors(self):
+        a = np.array([[0.0, -1.0, 1.0], [1.0, 0.0, -1.0], [-1.0, 1.0, 0.0]])
+        x, value = minimax_strategy(a)
+        assert np.allclose(x, [1 / 3] * 3, atol=1e-8)
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_value_is_guaranteed(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((4, 5)) * 10 - 5
+        x, value = minimax_strategy(a)
+        # x guarantees at least `value` against every pure column.
+        assert np.all(x @ a >= value - 1e-8)
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(GameError):
+            minimax_strategy(np.zeros(3))
+
+
+class TestSolveZeroSum:
+    def test_matching_pennies(self):
+        a = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        game = NormalFormGame(np.stack([a, -a], axis=-1))
+        x, y, value = solve_zero_sum(game)
+        assert np.allclose(x, [0.5, 0.5])
+        assert np.allclose(y, [0.5, 0.5])
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_saddle_point_game(self):
+        a = np.array([[3.0, 1.0], [4.0, 2.0]])  # saddle at (1, 1): value 2
+        game = NormalFormGame(np.stack([a, -a], axis=-1))
+        x, y, value = solve_zero_sum(game)
+        assert value == pytest.approx(2.0)
+        assert x[1] == pytest.approx(1.0)
+        assert y[1] == pytest.approx(1.0)
+
+    def test_rejects_non_zero_sum(self):
+        a = np.array([[1.0, 0.0], [0.0, 1.0]])
+        game = NormalFormGame.from_bimatrix(a)
+        with pytest.raises(GameError, match="not zero-sum"):
+            solve_zero_sum(game)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_duality_on_random_games(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.random((3, 4)) * 6 - 3
+        game = NormalFormGame(np.stack([a, -a], axis=-1))
+        x, y, value = solve_zero_sum(game)
+        # x guarantees >= value; y caps the row player at <= value.
+        assert np.all(x @ a >= value - 1e-7)
+        assert np.all(a @ y <= value + 1e-7)
+
+
+class TestSecurityLevels:
+    def test_zero_sum_consistency(self):
+        a = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        game = NormalFormGame(np.stack([a, -a], axis=-1))
+        row_level, col_level = security_levels(game)
+        assert row_level == pytest.approx(0.0, abs=1e-9)
+        assert col_level == pytest.approx(0.0, abs=1e-9)
+
+    def test_lower_bounds_nash_payoff(self):
+        # PD: Nash payoff (1, 1); security levels are also 1 (defect).
+        a = np.array([[3.0, 0.0], [5.0, 1.0]])
+        game = NormalFormGame.from_bimatrix(a)
+        row_level, col_level = security_levels(game)
+        assert row_level == pytest.approx(1.0)
+        assert col_level == pytest.approx(1.0)
+
+    def test_requires_two_players(self):
+        with pytest.raises(GameError):
+            security_levels(NormalFormGame(np.zeros((2, 2, 2, 3))))

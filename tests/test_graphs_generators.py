@@ -1,0 +1,255 @@
+"""Tests for repro.graphs.generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import (
+    _powerlaw_degrees,
+    barabasi_albert,
+    copying_model,
+    erdos_renyi,
+    karate_like_fixture,
+    powerlaw_configuration,
+)
+from repro.utils.rng import as_rng
+
+
+class TestPowerlawDegrees:
+    def test_exact_sum(self):
+        degrees = _powerlaw_degrees(100, 600, 2.5, as_rng(0))
+        assert degrees.sum() == 600
+
+    def test_min_degree_respected(self):
+        degrees = _powerlaw_degrees(50, 300, 2.5, as_rng(1), min_degree=2)
+        assert degrees.min() >= 2
+
+    def test_infeasible_budget_rejected(self):
+        with pytest.raises(GraphError, match="cannot support"):
+            _powerlaw_degrees(100, 50, 2.5, as_rng(0))
+
+    def test_heavy_tail_present(self):
+        degrees = _powerlaw_degrees(2000, 12000, 2.3, as_rng(2))
+        assert degrees.max() > 5 * degrees.mean()
+
+
+class TestPowerlawConfiguration:
+    def test_node_count(self):
+        g = powerlaw_configuration(300, 900, rng=0)
+        assert g.num_nodes == 300
+
+    def test_edge_count_near_target(self):
+        g = powerlaw_configuration(500, 2000, rng=0)
+        # Symmetrized: ~2x undirected budget, minus collision losses.
+        assert 0.75 * 4000 <= g.num_edges <= 4000
+
+    def test_symmetric(self):
+        g = powerlaw_configuration(100, 300, rng=3)
+        for u, v in list(g.edges())[:50]:
+            assert g.has_edge(v, u)
+
+    def test_deterministic_for_seed(self):
+        a = powerlaw_configuration(100, 300, rng=5)
+        b = powerlaw_configuration(100, 300, rng=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_bad_exponent_rejected(self):
+        with pytest.raises(GraphError, match="exponent"):
+            powerlaw_configuration(100, 300, exponent=0.9)
+
+
+class TestCommunityPowerlaw:
+    def test_counts_hit_budget(self):
+        from repro.graphs.generators import community_powerlaw
+
+        g = community_powerlaw(600, 2400, rng=0)
+        assert g.num_nodes == 600
+        # Compensation loop lands within a few percent of 2x budget arcs.
+        assert 0.95 * 4800 <= g.num_edges <= 4800 + 10
+
+    def test_symmetric(self):
+        from repro.graphs.generators import community_powerlaw
+
+        g = community_powerlaw(200, 600, rng=1)
+        for u, v in list(g.edges())[:60]:
+            assert g.has_edge(v, u)
+
+    def test_clustered_above_configuration_model(self):
+        """Planted communities must produce real clustering, unlike the bare
+        configuration model."""
+        import networkx as nx
+
+        from repro.graphs.generators import community_powerlaw
+
+        g = community_powerlaw(500, 2000, mixing=0.05, rng=2)
+        base = powerlaw_configuration(500, 2000, rng=2)
+        cc_comm = nx.average_clustering(g.to_networkx().to_undirected())
+        cc_base = nx.average_clustering(base.to_networkx().to_undirected())
+        assert cc_comm > cc_base * 2
+
+    def test_heavy_tail(self):
+        from repro.graphs.generators import community_powerlaw
+
+        g = community_powerlaw(1000, 4000, rng=3)
+        degrees = g.out_degrees()
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_deterministic(self):
+        from repro.graphs.generators import community_powerlaw
+
+        a = community_powerlaw(200, 600, rng=5)
+        b = community_powerlaw(200, 600, rng=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_mixing_validated(self):
+        from repro.graphs.generators import community_powerlaw
+
+        with pytest.raises(ValueError):
+            community_powerlaw(100, 300, mixing=1.5)
+
+    def test_explicit_community_count(self):
+        from repro.graphs.generators import community_powerlaw
+
+        g = community_powerlaw(300, 900, num_communities=3, rng=6)
+        assert g.num_nodes == 300
+
+
+class TestBarabasiAlbert:
+    def test_counts(self):
+        g = barabasi_albert(100, 3, rng=0)
+        assert g.num_nodes == 100
+        # (n - m) * m undirected edges, both directions.
+        assert g.num_edges == 2 * (100 - 3) * 3
+
+    def test_preferential_attachment_skew(self):
+        g = barabasi_albert(500, 2, rng=1)
+        degrees = g.out_degrees()
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_m_ge_n_rejected(self):
+        with pytest.raises(GraphError, match="must be <"):
+            barabasi_albert(3, 3)
+
+    def test_deterministic(self):
+        a = barabasi_albert(50, 2, rng=9)
+        b = barabasi_albert(50, 2, rng=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestCopyingModel:
+    def test_node_count(self):
+        g = copying_model(200, rng=0)
+        assert g.num_nodes == 200
+
+    def test_in_degree_skew(self):
+        g = copying_model(1000, out_edges=2, copy_probability=0.8, rng=1)
+        in_deg = g.in_degrees()
+        assert in_deg.max() > 8 * in_deg.mean()
+
+    def test_out_edges_bounded(self):
+        g = copying_model(300, out_edges=3, rng=2)
+        # Beyond the bootstrap clique, each node adds at most 3 out-edges.
+        assert g.out_degrees()[10:].max() <= 3
+
+    def test_tiny_graph(self):
+        g = copying_model(1, rng=0)
+        assert g.num_nodes == 1
+        assert g.num_edges == 0
+
+    def test_copy_probability_validated(self):
+        with pytest.raises(ValueError):
+            copying_model(10, copy_probability=1.5)
+
+
+class TestWattsStrogatz:
+    def test_counts(self):
+        from repro.graphs.generators import watts_strogatz
+
+        g = watts_strogatz(100, neighbours=4, rewire_probability=0.0, rng=0)
+        assert g.num_nodes == 100
+        # Pure lattice: exactly n*k/2 undirected edges, both directions.
+        assert g.num_edges == 2 * (100 * 4 // 2)
+
+    def test_lattice_structure_without_rewiring(self):
+        from repro.graphs.generators import watts_strogatz
+
+        g = watts_strogatz(10, neighbours=2, rewire_probability=0.0, rng=1)
+        for u in range(10):
+            assert g.has_edge(u, (u + 1) % 10)
+
+    def test_rewiring_changes_edges(self):
+        from repro.graphs.generators import watts_strogatz
+
+        lattice = watts_strogatz(60, 4, 0.0, rng=2)
+        rewired = watts_strogatz(60, 4, 0.5, rng=2)
+        assert sorted(lattice.edges()) != sorted(rewired.edges())
+
+    def test_high_clustering_at_low_rewire(self):
+        from repro.graphs.generators import watts_strogatz
+        from repro.graphs.stats import clustering_coefficient
+
+        g = watts_strogatz(200, 6, 0.05, rng=3)
+        assert clustering_coefficient(g, samples=100, rng=4) > 0.3
+
+    def test_odd_neighbours_rejected(self):
+        from repro.graphs.generators import watts_strogatz
+
+        with pytest.raises(GraphError, match="even"):
+            watts_strogatz(20, 3)
+
+    def test_neighbours_bounded(self):
+        from repro.graphs.generators import watts_strogatz
+
+        with pytest.raises(GraphError, match="must be <"):
+            watts_strogatz(4, 4)
+
+    def test_deterministic(self):
+        from repro.graphs.generators import watts_strogatz
+
+        a = watts_strogatz(50, 4, 0.2, rng=9)
+        b = watts_strogatz(50, 4, 0.2, rng=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi(50, 200, rng=0)
+        assert g.num_edges == 200
+
+    def test_no_self_loops(self):
+        g = erdos_renyi(20, 100, rng=1)
+        for u, v in g.edges():
+            assert u != v
+
+    def test_max_density(self):
+        g = erdos_renyi(5, 20, rng=2)
+        assert g.num_edges == 20
+
+    def test_over_max_rejected(self):
+        with pytest.raises(GraphError, match="exceeds"):
+            erdos_renyi(5, 21)
+
+    def test_deterministic(self):
+        a = erdos_renyi(30, 60, rng=4)
+        b = erdos_renyi(30, 60, rng=4)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestKarateFixture:
+    def test_canonical_counts(self):
+        g = karate_like_fixture()
+        assert g.num_nodes == 34
+        assert g.num_edges == 156  # 78 undirected edges, both directions
+
+    def test_symmetric(self):
+        g = karate_like_fixture()
+        for u, v in g.edges():
+            assert g.has_edge(v, u)
+
+    def test_hub_degrees(self):
+        g = karate_like_fixture()
+        degrees = g.out_degrees()
+        # The two club leaders (nodes 33 and 0) are the highest-degree nodes.
+        assert int(np.argmax(degrees)) in (0, 33)
+        assert degrees[33] == 17
+        assert degrees[0] == 16

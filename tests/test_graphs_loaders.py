@@ -1,0 +1,96 @@
+"""Tests for repro.graphs.loaders (SNAP edge-list I/O)."""
+
+import gzip
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.loaders import load_edge_list, save_edge_list
+
+
+class TestLoadEdgeList:
+    def test_basic_load(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n0 1\n1 2\n")
+        graph, labels = load_edge_list(path)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+        assert labels == {0: 0, 1: 1, 2: 2}
+
+    def test_sparse_labels_compacted(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("100 5\n5 7\n")
+        graph, labels = load_edge_list(path)
+        assert graph.num_nodes == 3
+        assert set(labels) == {5, 7, 100}
+        assert graph.has_edge(labels[100], labels[5])
+
+    def test_undirected_load(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        graph, _ = load_edge_list(path, directed=False)
+        assert graph.num_edges == 2
+
+    def test_tab_separated(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\t1\n")
+        graph, _ = load_edge_list(path)
+        assert graph.num_edges == 1
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("\n0 1\n\n")
+        graph, _ = load_edge_list(path)
+        assert graph.num_edges == 1
+
+    def test_gzip_load(self, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("0 1\n1 2\n")
+        graph, _ = load_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# only comments\n")
+        graph, labels = load_edge_list(path)
+        assert graph.num_nodes == 0
+        assert labels == {}
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\nonlyone\n")
+        with pytest.raises(GraphFormatError, match=":2"):
+            load_edge_list(path)
+
+    def test_non_integer_label_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            load_edge_list(path)
+
+
+class TestSaveEdgeList:
+    def test_round_trip(self, tmp_path, karate):
+        path = tmp_path / "k.txt"
+        save_edge_list(karate, path)
+        loaded, _ = load_edge_list(path)
+        assert loaded.num_nodes == karate.num_nodes
+        assert sorted(loaded.edges()) == sorted(karate.edges())
+
+    def test_header_written_as_comments(self, tmp_path):
+        graph = DiGraph(2, [(0, 1)])
+        path = tmp_path / "g.txt"
+        save_edge_list(graph, path, header="hello\nworld")
+        text = path.read_text()
+        assert "# hello" in text
+        assert "# world" in text
+        assert "# Nodes: 2 Edges: 1" in text
+
+    def test_gzip_round_trip(self, tmp_path):
+        graph = DiGraph(3, [(0, 1), (2, 0)])
+        path = tmp_path / "g.txt.gz"
+        save_edge_list(graph, path)
+        loaded, _ = load_edge_list(path)
+        assert sorted(loaded.edges()) == sorted(graph.edges())

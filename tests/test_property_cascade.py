@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) for cascade and competitive invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cascade.competitive import (
+    CompetitiveDiffusion,
+    TieBreakRule,
+    assign_initiators,
+)
+from repro.cascade.ic import IndependentCascade
+from repro.core.metrics import jaccard
+from repro.graphs.digraph import DiGraph
+from repro.utils.rng import as_rng
+
+
+@st.composite
+def graph_and_seed_sets(draw):
+    n = draw(st.integers(min_value=2, max_value=15))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ),
+            max_size=40,
+        )
+    )
+    num_groups = draw(st.integers(min_value=1, max_value=3))
+    seed_sets = [
+        draw(
+            st.lists(
+                st.integers(0, n - 1), min_size=1, max_size=min(4, n), unique=True
+            )
+        )
+        for _ in range(num_groups)
+    ]
+    return DiGraph(n, edges), seed_sets
+
+
+class TestInitiatorProperties:
+    @given(graph_and_seed_sets(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_initiators_partition_seed_union(self, data, seed):
+        graph, seed_sets = data
+        initiators = assign_initiators(
+            graph.num_nodes, seed_sets, TieBreakRule.UNIFORM, as_rng(seed)
+        )
+        flat = [v for group in initiators for v in group]
+        assert len(flat) == len(set(flat))
+        assert set(flat) == set().union(*(set(s) for s in seed_sets))
+
+    @given(graph_and_seed_sets(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_initiator_only_from_selectors(self, data, seed):
+        graph, seed_sets = data
+        initiators = assign_initiators(
+            graph.num_nodes, seed_sets, TieBreakRule.PROPORTIONAL, as_rng(seed)
+        )
+        for j, group in enumerate(initiators):
+            for v in group:
+                assert v in set(seed_sets[j])
+
+
+class TestCompetitiveProperties:
+    @given(
+        graph_and_seed_sets(),
+        st.floats(0.0, 1.0),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ownership_invariants(self, data, p, seed):
+        graph, seed_sets = data
+        engine = CompetitiveDiffusion(graph, IndependentCascade(p))
+        outcome = engine.run(seed_sets, as_rng(seed))
+        # Partition: per-group spreads sum to total activation.
+        assert outcome.spreads().sum() == outcome.total_activated
+        # Every claimed node's owner is a valid group.
+        claimed = outcome.owner[outcome.owner >= 0]
+        assert np.all(claimed < len(seed_sets))
+        # Seeds' union is activated (initiators are always active).
+        union = set().union(*(set(s) for s in seed_sets))
+        assert outcome.total_activated >= len(union)
+
+    @given(graph_and_seed_sets(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_p_one_activates_exactly_reachable(self, data, seed):
+        graph, seed_sets = data
+        engine = CompetitiveDiffusion(graph, IndependentCascade(1.0))
+        outcome = engine.run(seed_sets, as_rng(seed))
+        union = sorted(set().union(*(set(s) for s in seed_sets)))
+        reachable = graph.reachable_from(union)
+        assert outcome.total_activated == int(reachable.sum())
+
+    @given(graph_and_seed_sets(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_p_zero_activates_exactly_union(self, data, seed):
+        graph, seed_sets = data
+        engine = CompetitiveDiffusion(graph, IndependentCascade(0.0))
+        outcome = engine.run(seed_sets, as_rng(seed))
+        union = set().union(*(set(s) for s in seed_sets))
+        assert outcome.total_activated == len(union)
+
+
+class TestJaccardProperties:
+    @given(
+        st.lists(st.integers(0, 50), max_size=20),
+        st.lists(st.integers(0, 50), max_size=20),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_symmetric_and_bounded(self, a, b):
+        assert jaccard(a, b) == jaccard(b, a)
+        assert 0.0 <= jaccard(a, b) <= 1.0
+
+    @given(st.lists(st.integers(0, 50), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_self_similarity_is_one(self, a):
+        assert jaccard(a, a) == 1.0
+
+    @given(
+        st.sets(st.integers(0, 30), min_size=1, max_size=10),
+        st.sets(st.integers(31, 60), min_size=1, max_size=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_disjoint_sets_zero(self, a, b):
+        assert jaccard(sorted(a), sorted(b)) == 0.0

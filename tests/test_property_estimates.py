@@ -1,0 +1,85 @@
+"""Property tests for estimate pooling and game symmetrization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.cascade.simulate import SpreadEstimate
+from repro.core.getreal import symmetrize
+from repro.game.normal_form import NormalFormGame
+
+values_list = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    min_size=2,
+    max_size=40,
+)
+
+
+class TestSpreadEstimatePooling:
+    @given(a=values_list, b=values_list)
+    @settings(max_examples=60, deadline=None)
+    def test_pooled_mean_matches_concatenation(self, a, b):
+        pooled = SpreadEstimate.from_values(a) + SpreadEstimate.from_values(b)
+        direct = np.concatenate([a, b])
+        assert pooled.mean == pytest.approx(float(direct.mean()), abs=1e-6)
+        assert pooled.samples == len(a) + len(b)
+
+    @given(a=values_list)
+    @settings(max_examples=40, deadline=None)
+    def test_pooling_is_commutative(self, a):
+        half = len(a) // 2
+        left = SpreadEstimate.from_values(a[:half] or [0.0])
+        right = SpreadEstimate.from_values(a[half:] or [0.0])
+        ab = left + right
+        ba = right + left
+        assert ab.mean == pytest.approx(ba.mean)
+        assert ab.std == pytest.approx(ba.std)
+
+    @given(a=values_list)
+    @settings(max_examples=40, deadline=None)
+    def test_stderr_decreases_with_more_samples(self, a):
+        est = SpreadEstimate.from_values(a)
+        doubled = est + SpreadEstimate(mean=est.mean, std=est.std, samples=est.samples)
+        if est.std > 0:
+            assert doubled.stderr < est.stderr
+
+
+payoff_tensor = arrays(
+    np.float64,
+    (2, 2, 2),
+    elements=st.floats(min_value=-50, max_value=50, allow_nan=False),
+)
+
+
+class TestSymmetrizeProperties:
+    @given(a=arrays(np.float64, (3, 3), elements=st.floats(-50, 50, allow_nan=False)))
+    @settings(max_examples=50, deadline=None)
+    def test_result_is_symmetric(self, a):
+        rng = np.random.default_rng(0)
+        b = a.T + rng.normal(0, 1, size=a.shape)
+        game = NormalFormGame(np.stack([a, b], axis=-1))
+        assert symmetrize(game).is_symmetric()
+
+    @given(a=arrays(np.float64, (3, 3), elements=st.floats(-50, 50, allow_nan=False)))
+    @settings(max_examples=50, deadline=None)
+    def test_idempotent(self, a):
+        game = NormalFormGame(np.stack([a, a.T * 1.1], axis=-1))
+        once = symmetrize(game)
+        twice = symmetrize(once)
+        assert np.allclose(once.payoffs, twice.payoffs)
+
+    @given(a=arrays(np.float64, (2, 2), elements=st.floats(-50, 50, allow_nan=False)))
+    @settings(max_examples=50, deadline=None)
+    def test_fixed_point_on_symmetric_games(self, a):
+        game = NormalFormGame.from_bimatrix(a)
+        assert np.allclose(symmetrize(game).payoffs, game.payoffs)
+
+    @given(a=arrays(np.float64, (2, 2), elements=st.floats(-50, 50, allow_nan=False)))
+    @settings(max_examples=50, deadline=None)
+    def test_preserves_total_payoff_mass(self, a):
+        b = a.T + 3.0
+        game = NormalFormGame(np.stack([a, b], axis=-1))
+        sym = symmetrize(game)
+        assert sym.payoffs.sum() == pytest.approx(game.payoffs.sum())

@@ -1,0 +1,137 @@
+"""Property-based tests (hypothesis) for the game-theory substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.game.lemke_howson import lemke_howson
+from repro.game.mixed import (
+    expected_payoff_against_symmetric,
+    regret_of_symmetric_mixture,
+    symmetric_mixed_equilibrium,
+)
+from repro.game.normal_form import NormalFormGame
+from repro.game.pure import is_pure_equilibrium, pure_nash_equilibria
+from repro.game.support_enum import support_enumeration
+from repro.errors import EquilibriumError
+
+payoff_values = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def _bimatrix(shape):
+    return arrays(np.float64, shape, elements=payoff_values)
+
+
+class TestPureNashProperties:
+    @given(_bimatrix((2, 2)), _bimatrix((2, 2)))
+    @settings(max_examples=80, deadline=None)
+    def test_enumeration_agrees_with_checker(self, a, b):
+        game = NormalFormGame(np.stack([a, b], axis=-1))
+        found = set(pure_nash_equilibria(game))
+        for profile in game.profiles():
+            assert (profile in found) == is_pure_equilibrium(game, profile)
+
+    @given(_bimatrix((3, 3)))
+    @settings(max_examples=50, deadline=None)
+    def test_symmetric_game_profile_symmetry(self, a):
+        """In a symmetric game, (i, j) is a NE iff (j, i) is."""
+        game = NormalFormGame.from_bimatrix(a)
+        equilibria = set(pure_nash_equilibria(game))
+        for i, j in equilibria:
+            assert (j, i) in equilibria
+
+
+class TestSupportEnumerationProperties:
+    @given(_bimatrix((2, 2)), _bimatrix((2, 2)))
+    @settings(max_examples=50, deadline=None)
+    def test_results_are_equilibria(self, a, b):
+        game = NormalFormGame(np.stack([a, b], axis=-1))
+        for x, y in support_enumeration(game):
+            row = a @ y
+            col = x @ b
+            assert row.max() <= float(x @ row) + 1e-6
+            assert col.max() <= float(col @ y) + 1e-6
+
+    @given(_bimatrix((2, 2)), _bimatrix((2, 2)))
+    @settings(max_examples=50, deadline=None)
+    def test_mixtures_are_distributions(self, a, b):
+        game = NormalFormGame(np.stack([a, b], axis=-1))
+        for x, y in support_enumeration(game):
+            assert np.all(x >= -1e-12) and np.all(y >= -1e-12)
+            np.testing.assert_allclose(x.sum(), 1.0)
+            np.testing.assert_allclose(y.sum(), 1.0)
+
+
+class TestLemkeHowsonProperties:
+    @given(_bimatrix((2, 2)), _bimatrix((2, 2)))
+    @settings(max_examples=60, deadline=None)
+    def test_output_is_equilibrium(self, a, b):
+        game = NormalFormGame(np.stack([a, b], axis=-1))
+        try:
+            x, y = lemke_howson(game)
+        except EquilibriumError:
+            # Degenerate games may defeat the pivoting; acceptable.
+            return
+        tol = 1e-5
+        row = a @ y
+        col = x @ b
+        assert row.max() <= float(x @ row) + tol
+        assert col.max() <= float(col @ y) + tol
+
+
+class TestSymmetricEquilibriumProperties:
+    @given(_bimatrix((2, 2)))
+    @settings(max_examples=60, deadline=None)
+    def test_two_action_symmetric_always_solvable(self, a):
+        game = NormalFormGame.from_bimatrix(a)
+        mixture = symmetric_mixed_equilibrium(game)
+        assert mixture.shape == (2,)
+        np.testing.assert_allclose(mixture.sum(), 1.0)
+        assert regret_of_symmetric_mixture(game, mixture) <= 1e-5
+
+    @given(_bimatrix((3, 3)))
+    @settings(max_examples=30, deadline=None)
+    def test_three_action_symmetric_low_regret(self, a):
+        game = NormalFormGame.from_bimatrix(a)
+        try:
+            mixture = symmetric_mixed_equilibrium(game)
+        except EquilibriumError:
+            return  # numerically hostile instance; allowed to refuse
+        assert regret_of_symmetric_mixture(game, mixture) <= 1e-4
+
+    @given(
+        _bimatrix((2, 2)),
+        st.lists(st.floats(0.01, 1.0), min_size=2, max_size=2),
+        st.floats(-5.0, 5.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_payoff_shift_invariance(self, a, raw, shift):
+        """Adding a constant to every payoff shifts expected payoffs by the
+        constant and leaves regret (hence equilibria) unchanged."""
+        game = NormalFormGame.from_bimatrix(a)
+        shifted = NormalFormGame.from_bimatrix(a + shift)
+        rho = np.array(raw) / np.sum(raw)
+        u = expected_payoff_against_symmetric(game, 0, rho)
+        u_shifted = expected_payoff_against_symmetric(shifted, 0, rho)
+        np.testing.assert_allclose(u_shifted, u + shift, atol=1e-9)
+        np.testing.assert_allclose(
+            regret_of_symmetric_mixture(shifted, rho),
+            regret_of_symmetric_mixture(game, rho),
+            atol=1e-9,
+        )
+
+    @given(_bimatrix((2, 2)))
+    @settings(max_examples=40, deadline=None)
+    def test_matrix_form_agrees_with_enumeration(self, a):
+        """For 2 players, u(action, rho) is just (A @ rho)[action]."""
+        game = NormalFormGame.from_bimatrix(a)
+        rho = np.array([0.3, 0.7])
+        for action in range(2):
+            np.testing.assert_allclose(
+                expected_payoff_against_symmetric(game, action, rho),
+                (a @ rho)[action],
+                atol=1e-12,
+            )

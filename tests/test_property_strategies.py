@@ -1,0 +1,99 @@
+"""Property-based tests for seed selectors and mixed strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.degree_discount import DegreeDiscount
+from repro.algorithms.heuristics import HighDegree, PageRankSeeds, RandomSeeds
+from repro.algorithms.single_discount import SingleDiscount
+from repro.core.strategy import MixedStrategy, StrategySpace
+from repro.graphs.generators import erdos_renyi
+
+SELECTORS = [
+    DegreeDiscount(0.1),
+    SingleDiscount(),
+    HighDegree(),
+    RandomSeeds(),
+    PageRankSeeds(max_iterations=20),
+]
+
+
+@st.composite
+def graph_and_budget(draw):
+    n = draw(st.integers(min_value=5, max_value=40))
+    m = draw(st.integers(min_value=4, max_value=min(80, n * (n - 1))))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    k = draw(st.integers(min_value=1, max_value=n))
+    return erdos_renyi(n, m, rng=seed), k, seed
+
+
+class TestSelectorContracts:
+    @pytest.mark.parametrize("selector", SELECTORS, ids=lambda s: s.name)
+    @given(data=graph_and_budget())
+    @settings(max_examples=20, deadline=None)
+    def test_k_distinct_in_range_seeds(self, selector, data):
+        graph, k, seed = data
+        seeds = selector.select(graph, k, rng=seed)
+        assert len(seeds) == k
+        assert len(set(seeds)) == k
+        assert all(0 <= s < graph.num_nodes for s in seeds)
+
+    @pytest.mark.parametrize("selector", SELECTORS, ids=lambda s: s.name)
+    @given(data=graph_and_budget())
+    @settings(max_examples=15, deadline=None)
+    def test_prefix_consistency(self, selector, data):
+        """select(k)[:k'] == select(k') for the same rng seed."""
+        graph, k, seed = data
+        small_k = max(1, k // 2)
+        full = selector.select(graph, k, rng=seed)
+        prefix = selector.select(graph, small_k, rng=seed)
+        assert full[:small_k] == prefix
+
+    @pytest.mark.parametrize("selector", SELECTORS, ids=lambda s: s.name)
+    @given(data=graph_and_budget())
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic_given_seed(self, selector, data):
+        graph, k, seed = data
+        assert selector.select(graph, k, rng=seed) == selector.select(
+            graph, k, rng=seed
+        )
+
+
+class TestMixedStrategyProperties:
+    @given(
+        raw=st.lists(st.floats(0.01, 10.0), min_size=2, max_size=2),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sample_respects_support(self, raw, seed):
+        space = StrategySpace([DegreeDiscount(0.1), RandomSeeds()])
+        weights = np.array(raw) / np.sum(raw)
+        mix = MixedStrategy(space, weights)
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            name = mix.sample(rng).name
+            index = space.index_of(name)
+            assert mix.probabilities[index] > 0
+
+    @given(index=st.integers(0, 1))
+    @settings(max_examples=10, deadline=None)
+    def test_pure_one_hot(self, index):
+        space = StrategySpace([DegreeDiscount(0.1), RandomSeeds()])
+        mix = MixedStrategy.pure(space, index)
+        assert mix.probabilities[index] == 1.0
+        assert mix.is_pure
+        assert mix.support == [index]
+
+    @given(
+        raw=st.lists(st.floats(0.01, 10.0), min_size=3, max_size=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_probabilities_normalized(self, raw):
+        space = StrategySpace(
+            [DegreeDiscount(0.1), RandomSeeds(), HighDegree()]
+        )
+        weights = np.array(raw) / np.sum(raw)
+        mix = MixedStrategy(space, weights)
+        assert mix.probabilities.sum() == pytest.approx(1.0)

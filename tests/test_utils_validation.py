@@ -1,0 +1,101 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_distribution,
+    check_fraction,
+    check_non_negative_int,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int32(5), "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="positive"):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-2, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "x")
+
+    def test_error_mentions_name(self):
+        with pytest.raises(ValueError, match="budget"):
+            check_positive_int(0, "budget")
+
+
+class TestCheckNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative_int(-1, "x")
+
+
+class TestCheckProbability:
+    def test_endpoints(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_interior(self):
+        assert check_probability(0.25, "p") == 0.25
+
+    def test_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            check_probability(1.01, "p")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_probability(-0.1, "p")
+
+
+class TestCheckFraction:
+    def test_one_accepted(self):
+        assert check_fraction(1.0, "s") == 1.0
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0, "s")
+
+
+class TestCheckDistribution:
+    def test_valid(self):
+        out = check_distribution([0.25, 0.75], "d")
+        assert np.allclose(out, [0.25, 0.75])
+
+    def test_normalizes_tiny_drift(self):
+        out = check_distribution([0.5 + 1e-12, 0.5 - 1e-12], "d")
+        assert np.isclose(out.sum(), 1.0)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            check_distribution([0.3, 0.3], "d")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            check_distribution([-0.5, 1.5], "d")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_distribution([], "d")
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            check_distribution([[0.5], [0.5]], "d")
