@@ -8,15 +8,29 @@ terminal summary (so they survive output capture) and also written to
 Scale is controlled by the REPRO_BENCH_* environment variables documented
 in :mod:`repro.experiments.config`; the defaults finish the full suite in a
 few minutes on a laptop.
+
+Observability: set ``REPRO_BENCH_LOG_LEVEL`` (e.g. ``info``/``debug``) to
+see structured logs from the simulation stack, and ``REPRO_BENCH_JOURNAL``
+to a path to capture the whole bench run as a JSONL journal (readable with
+``python -m repro journal <path>``).  A metrics snapshot is appended to the
+terminal summary after every run.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
 from repro.experiments.config import ExperimentConfig
+from repro.obs import (
+    RunJournal,
+    attach_journal,
+    configure_logging,
+    detach_journal,
+    get_registry,
+)
 from repro.utils.charts import ascii_chart, series_from_rows
 from repro.utils.tables import format_table, write_csv
 
@@ -28,6 +42,25 @@ _REPORTS: list[str] = []
 def config() -> ExperimentConfig:
     """One shared configuration (and graph cache) for the whole bench run."""
     return ExperimentConfig()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def observability():
+    """Wire REPRO_BENCH_LOG_LEVEL / REPRO_BENCH_JOURNAL into the obs layer."""
+    level = os.environ.get("REPRO_BENCH_LOG_LEVEL")
+    if level:
+        configure_logging(level)
+    path = os.environ.get("REPRO_BENCH_JOURNAL")
+    if not path:
+        yield None
+        return
+    journal = RunJournal(path)
+    attach_journal(journal)
+    try:
+        yield journal
+    finally:
+        detach_journal(journal)
+        journal.close()
 
 
 @pytest.fixture
@@ -65,4 +98,11 @@ def pytest_terminal_summary(terminalreporter):
     for text in _REPORTS:
         terminalreporter.write_line("")
         for line in text.splitlines():
+            terminalreporter.write_line(line)
+    metric_rows = get_registry().rows()
+    if metric_rows:
+        terminalreporter.write_line("")
+        for line in format_table(
+            metric_rows, title="observability metrics (this run)"
+        ).splitlines():
             terminalreporter.write_line(line)

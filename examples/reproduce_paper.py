@@ -7,10 +7,12 @@ suite uses.  Scale knobs come from the REPRO_BENCH_* environment variables
 Usage:
     python examples/reproduce_paper.py             # everything
     python examples/reproduce_paper.py table3 fig8 # selected experiments
+    python examples/reproduce_paper.py fig8 --journal=run.jsonl --log-level=info
 """
 
 import sys
 
+from repro.obs import RunJournal, attached, configure_logging
 from repro.experiments import (
     ExperimentConfig,
     coefficient_rows,
@@ -98,21 +100,43 @@ EXPERIMENTS = {
 
 
 def main(argv: list[str]) -> int:
-    requested = argv or list(EXPERIMENTS)
+    # Observability flags (--journal=PATH, --log-level=LEVEL) are parsed by
+    # hand so plain experiment names keep their historical behavior.
+    journal_path: str | None = None
+    log_level: str | None = None
+    requested = []
+    for arg in argv:
+        if arg.startswith("--journal="):
+            journal_path = arg.split("=", 1)[1]
+        elif arg.startswith("--log-level="):
+            log_level = arg.split("=", 1)[1]
+        else:
+            requested.append(arg)
+    requested = requested or list(EXPERIMENTS)
     unknown = [name for name in requested if name not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {unknown}")
         print(f"available: {', '.join(EXPERIMENTS)}")
         return 2
+    if log_level:
+        configure_logging(log_level)
     config = ExperimentConfig()
     print(
         f"config: nodes<={config.nodes_budget}, rounds={config.rounds}, "
         f"snapshots={config.snapshots}, ks={config.ks}, "
         f"ic_p={config.ic_probability}\n"
     )
-    for name in requested:
-        EXPERIMENTS[name](config)
-        print()
+
+    def run_all() -> None:
+        for name in requested:
+            EXPERIMENTS[name](config)
+            print()
+
+    if journal_path:
+        with RunJournal(journal_path) as journal, attached(journal):
+            run_all()
+    else:
+        run_all()
     return 0
 
 

@@ -21,6 +21,8 @@ from repro.errors import (
     GameError,
     GraphError,
     GraphFormatError,
+    JournalError,
+    ObservabilityError,
     PayoffEstimationError,
     ReproError,
     SeedSelectionError,
@@ -74,6 +76,17 @@ from repro.game import (
     support_enumeration,
     symmetric_mixed_equilibrium,
 )
+from repro.obs import (
+    RunJournal,
+    attach_journal,
+    attached,
+    configure_logging,
+    detach_journal,
+    get_logger,
+    metrics_reset,
+    metrics_snapshot,
+    read_journal,
+)
 from repro.core import (
     AsymmetricBudgetResult,
     BlockingResult,
@@ -108,6 +121,8 @@ __all__ = [
     "GameError",
     "EquilibriumError",
     "PayoffEstimationError",
+    "ObservabilityError",
+    "JournalError",
     # graphs
     "DiGraph",
     "barabasi_albert",
@@ -145,6 +160,16 @@ __all__ = [
     "RandomSeeds",
     "RISGreedy",
     "get_algorithm",
+    # observability
+    "configure_logging",
+    "get_logger",
+    "metrics_snapshot",
+    "metrics_reset",
+    "RunJournal",
+    "attach_journal",
+    "detach_journal",
+    "attached",
+    "read_journal",
     # game theory
     "NormalFormGame",
     "pure_nash_equilibria",

@@ -17,24 +17,53 @@ Two contract points matter for the game-theoretic layer:
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from typing import Callable, Sequence
 
 from repro.errors import SeedSelectionError
 from repro.graphs.digraph import DiGraph
+from repro.obs.log import get_logger
+from repro.obs.metrics import counter, histogram
 from repro.utils.rng import RandomSource
 from repro.utils.validation import check_positive_int
 
+_LOG = get_logger("algorithms")
+
+_SELECTIONS = counter("algorithms.selections")
+
 
 class SeedSelector(ABC):
-    """An influence-maximization algorithm: graph × budget → ordered seed list."""
+    """An influence-maximization algorithm: graph × budget → ordered seed list.
+
+    Subclasses implement :meth:`_select`; the public :meth:`select` wraps it
+    with observability (selection counter, per-algorithm wall-time
+    histogram, debug log) so every seed-set draw in the pipeline is
+    measured uniformly.
+    """
 
     #: short identifier used in strategy labels ("mgic", "ddic", ...)
     name: str = "abstract"
 
-    @abstractmethod
     def select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
         """Return *k* distinct seed nodes in greedy (prefix-consistent) order."""
+        started = time.perf_counter()
+        seeds = self._select(graph, k, rng)
+        elapsed = time.perf_counter() - started
+        _SELECTIONS.inc()
+        histogram(f"algorithms.{self.name}.select_seconds").observe(elapsed)
+        _LOG.debug(
+            "%s selected %d seeds on %d nodes in %.3fs",
+            self.name,
+            len(seeds),
+            graph.num_nodes,
+            elapsed,
+        )
+        return seeds
+
+    @abstractmethod
+    def _select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
+        """Algorithm body; see :meth:`select` for the contract."""
 
     def _check_budget(self, graph: DiGraph, k: int) -> int:
         check_positive_int(k, "k")

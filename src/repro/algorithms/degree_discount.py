@@ -29,7 +29,7 @@ class DegreeDiscount(SeedSelector):
     def __init__(self, probability: float = 0.01):
         self.probability = check_probability(probability, "probability")
 
-    def select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
+    def _select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
         k = self._check_budget(graph, k)
         generator = as_rng(rng)
         n = graph.num_nodes

@@ -98,7 +98,7 @@ class FollowerBestResponse(SeedSelector):
             total += outcome.spread(1)
         return total / self.rounds
 
-    def select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
+    def _select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
         k = self._check_budget(graph, k)
         for s in self.rival_seeds:
             if not 0 <= s < graph.num_nodes:

@@ -43,7 +43,7 @@ class _SnapshotGreedyBase(SeedSelector):
         """Spread estimate of every singleton seed; overridden by MixGreedy."""
         raise NotImplementedError
 
-    def select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
+    def _select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
         k = self._check_budget(graph, k)
         generator = as_rng(rng)
         masks = sample_snapshots(graph, self.model, self.num_snapshots, generator)

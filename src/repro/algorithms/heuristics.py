@@ -20,7 +20,7 @@ class HighDegree(SeedSelector):
 
     name = "degree"
 
-    def select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
+    def _select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
         k = self._check_budget(graph, k)
         generator = as_rng(rng)
         scores = graph.out_degrees().astype(float) + generator.random(graph.num_nodes) * 1e-9
@@ -33,7 +33,7 @@ class RandomSeeds(SeedSelector):
 
     name = "random"
 
-    def select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
+    def _select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
         k = self._check_budget(graph, k)
         generator = as_rng(rng)
         # A full permutation (not rng.choice) keeps the selection
@@ -91,7 +91,7 @@ class PageRankSeeds(SeedSelector):
             rank = new_rank
         return rank / rank.sum()
 
-    def select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
+    def _select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
         k = self._check_budget(graph, k)
         generator = as_rng(rng)
         scores = self.scores(graph) + generator.random(graph.num_nodes) * 1e-15

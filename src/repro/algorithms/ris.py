@@ -84,7 +84,7 @@ class RISGreedy(SeedSelector):
                     stack.append(u)
         return list(visited)
 
-    def select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
+    def _select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
         k = self._check_budget(graph, k)
         generator = as_rng(rng)
         n = graph.num_nodes

@@ -20,7 +20,7 @@ class SingleDiscount(SeedSelector):
 
     name = "sdwc"
 
-    def select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
+    def _select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
         k = self._check_budget(graph, k)
         generator = as_rng(rng)
         n = graph.num_nodes

@@ -38,7 +38,16 @@ from repro.cascade.base import CascadeModel
 from repro.cascade.lt import LinearThreshold
 from repro.errors import CascadeError
 from repro.graphs.digraph import DiGraph
+from repro.obs.metrics import counter, histogram
 from repro.utils.rng import RandomSource, as_rng
+
+# Cached instrument handles: incremented once per simulation (or round), so
+# the per-simulation overhead is a handful of attribute updates.
+_SIMULATIONS = counter("cascade.simulations")
+_ROUNDS = counter("cascade.rounds")
+_NODES_ACTIVATED = counter("cascade.nodes_activated")
+_SEED_COLLISIONS = counter("cascade.seed_collisions")
+_FRONTIER_SIZE = histogram("cascade.frontier_size")
 
 
 class TieBreakRule(enum.Enum):
@@ -156,12 +165,15 @@ def assign_initiators(
             if len(groups) == 1:
                 exclusive[groups[0]] += 1.0
     initiators: list[list[int]] = [[] for _ in range(r)]
+    contested = 0
     for node, groups in selectors.items():
         if len(groups) == 1:
             winner = groups[0]
         elif tie_break is TieBreakRule.UNIFORM:
+            contested += 1
             winner = groups[int(generator.integers(0, len(groups)))]
         else:
+            contested += 1
             weights = np.array([exclusive[g] for g in groups])
             if weights.sum() == 0:
                 winner = groups[int(generator.integers(0, len(groups)))]
@@ -169,6 +181,8 @@ def assign_initiators(
                 weights = weights / weights.sum()
                 winner = groups[int(generator.choice(len(groups), p=weights))]
         initiators[winner].append(node)
+    if contested:
+        _SEED_COLLISIONS.inc(contested)
     return initiators
 
 
@@ -222,12 +236,19 @@ class CompetitiveDiffusion:
             owner, rounds, when = self._run_threshold(initiators, generator)
         else:
             owner, rounds, when = self._run_cascade(initiators, generator)
-        return CompetitiveOutcome(
+        outcome = CompetitiveOutcome(
             owner=owner,
             initiators=initiators,
             rounds=rounds,
             activation_round=when,
         )
+        spreads = outcome.spreads()
+        _SIMULATIONS.inc()
+        _ROUNDS.inc(rounds)
+        _NODES_ACTIVATED.inc(int(spreads.sum()))
+        for j in range(outcome.num_groups):
+            histogram(f"cascade.group{j + 1}.spread").observe(float(spreads[j]))
+        return outcome
 
     # ------------------------------------------------------------------ #
     # cascade path (IC / WC / heterogeneous-probability models)
@@ -293,6 +314,7 @@ class CompetitiveDiffusion:
                     when[v] = rounds
                     next_frontiers[winner].append(v)
             frontiers = next_frontiers
+            _FRONTIER_SIZE.observe(sum(len(f) for f in frontiers))
         return owner, rounds, when
 
     # ------------------------------------------------------------------ #
@@ -341,4 +363,5 @@ class CompetitiveDiffusion:
                     when[v] = rounds
                     next_frontiers[winner].append(v)
             frontiers = next_frontiers
+            _FRONTIER_SIZE.observe(sum(len(f) for f in frontiers))
         return owner, rounds, when

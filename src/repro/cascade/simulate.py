@@ -11,6 +11,7 @@ comparison is statistically meaningful.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -20,8 +21,18 @@ from repro.cascade.base import CascadeModel
 from repro.cascade.competitive import ClaimRule, CompetitiveDiffusion, TieBreakRule
 from repro.errors import CascadeError
 from repro.graphs.digraph import DiGraph
+from repro.obs.log import get_logger
+from repro.obs.metrics import counter, histogram
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.validation import check_positive_int
+
+_LOG = get_logger("cascade.simulate")
+
+_SINGLE_SIMULATIONS = counter("cascade.simulations")
+_SPREAD_CALLS = counter("estimate.spread_calls")
+_COMPETITIVE_CALLS = counter("estimate.competitive_calls")
+_SPREAD_SECONDS = histogram("estimate.spread_seconds")
+_COMPETITIVE_SECONDS = histogram("estimate.competitive_seconds")
 
 
 @dataclass(frozen=True)
@@ -48,17 +59,25 @@ class SpreadEstimate:
         return cls(mean=float(arr.mean()), std=std, samples=int(arr.size))
 
     def __add__(self, other: "SpreadEstimate") -> "SpreadEstimate":
-        """Pool two independent estimates (weighted by sample count)."""
+        """Pool two independent estimates (weighted by sample count).
+
+        Uses the same ``ddof=1`` convention as :meth:`from_values`: the
+        sums of squared deviations around the combined mean are added and
+        divided by ``n - 1``, so pooling two estimates is exactly
+        equivalent to estimating from the concatenated samples.
+        """
         if not isinstance(other, SpreadEstimate):
             return NotImplemented
         n = self.samples + other.samples
         mean = (self.mean * self.samples + other.mean * other.samples) / n
-        # Pooled variance around the combined mean.
-        var = (
-            self.samples * (self.std**2 + (self.mean - mean) ** 2)
-            + other.samples * (other.std**2 + (other.mean - mean) ** 2)
-        ) / n
-        return SpreadEstimate(mean=mean, std=float(np.sqrt(var)), samples=n)
+        sum_squares = (
+            (self.samples - 1) * self.std**2
+            + self.samples * (self.mean - mean) ** 2
+            + (other.samples - 1) * other.std**2
+            + other.samples * (other.mean - mean) ** 2
+        )
+        std = float(np.sqrt(sum_squares / (n - 1))) if n > 1 else 0.0
+        return SpreadEstimate(mean=mean, std=std, samples=n)
 
 
 def estimate_spread(
@@ -71,7 +90,11 @@ def estimate_spread(
     """Estimate the non-competitive spread ``σ0(seeds)`` by *rounds* simulations."""
     check_positive_int(rounds, "rounds")
     generator = as_rng(rng)
+    started = time.perf_counter()
     values = [model.spread_once(graph, seeds, generator) for _ in range(rounds)]
+    _SPREAD_CALLS.inc()
+    _SINGLE_SIMULATIONS.inc(rounds)
+    _SPREAD_SECONDS.observe(time.perf_counter() - started)
     return SpreadEstimate.from_values(values)
 
 
@@ -93,10 +116,20 @@ def estimate_competitive_spread(
     check_positive_int(rounds, "rounds")
     generator = as_rng(rng)
     engine = CompetitiveDiffusion(graph, model, tie_break, claim_rule)
+    started = time.perf_counter()
     per_group: list[list[int]] = [[] for _ in seed_sets]
     for _ in range(rounds):
         outcome = engine.run(seed_sets, generator)
         spreads = outcome.spreads()
         for j in range(len(seed_sets)):
             per_group[j].append(int(spreads[j]))
+    elapsed = time.perf_counter() - started
+    _COMPETITIVE_CALLS.inc()
+    _COMPETITIVE_SECONDS.observe(elapsed)
+    _LOG.debug(
+        "competitive spread: %d groups x %d rounds in %.3fs",
+        len(seed_sets),
+        rounds,
+        elapsed,
+    )
     return [SpreadEstimate.from_values(vals) for vals in per_group]

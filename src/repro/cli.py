@@ -9,7 +9,12 @@ Subcommands cover the everyday workflows:
 * ``compete``  — two algorithms head-to-head: per-group spreads + overlap;
 * ``getreal``  — run the full GetReal pipeline and print the equilibrium;
 * ``overlap``  — Jaccard overlap of two algorithms' seed sets;
-* ``block``    — place blocker seeds against a rival campaign.
+* ``block``    — place blocker seeds against a rival campaign;
+* ``journal``  — per-profile timing/variance report from a run journal.
+
+Every graph-taking command accepts the observability flags
+``--log-level``/``--log-json`` (structured logging on stderr) and
+``--journal PATH`` (append typed JSONL events to *PATH*).
 
 Examples::
 
@@ -17,7 +22,9 @@ Examples::
     python -m repro seeds hep --algorithm ddic --k 10
     python -m repro spread hep --algorithm mgic --k 20 --rounds 50
     python -m repro compete hep --first mgic --second ddic --k 20
-    python -m repro getreal hep --strategies mgic,ddic --k 20 --rounds 30
+    python -m repro getreal hep --strategies mgic,ddic --k 20 --rounds 30 \
+        --journal run.jsonl --log-level info
+    python -m repro journal run.jsonl
     python -m repro overlap hep --first ddic --second mgic --k 20
     python -m repro block hep --rival ddic --k 5 --rival-k 10
 """
@@ -26,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from repro.algorithms import get_algorithm, registered_algorithms
@@ -33,10 +41,19 @@ from repro.cascade import IndependentCascade, LinearThreshold, WeightedCascade
 from repro.core.getreal import get_real
 from repro.core.metrics import jaccard
 from repro.core.strategy import StrategySpace
+from repro.errors import JournalError
 from repro.graphs.datasets import DATASETS, get_dataset
 from repro.graphs.digraph import DiGraph
 from repro.graphs.loaders import load_edge_list
 from repro.graphs.stats import summarize
+from repro.obs import (
+    RunJournal,
+    attach_journal,
+    configure_logging,
+    detach_journal,
+    read_journal,
+    render_journal_report,
+)
 from repro.utils.tables import format_table
 
 
@@ -82,6 +99,22 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--undirected", action="store_true", help="treat an edge-list file as undirected"
     )
     parser.add_argument("--seed", type=int, default=2015, help="RNG seed")
+    parser.add_argument(
+        "--log-level",
+        default="warning",
+        help="logging threshold (debug/info/warning/error)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log records as JSON lines",
+    )
+    parser.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="append typed JSONL run events to PATH",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -145,11 +178,61 @@ def build_parser() -> argparse.ArgumentParser:
     block.add_argument("--pool", type=int, default=60, help="candidate pool size")
     block.add_argument("--probability", type=float, default=0.05, help="IC p")
 
+    journal = sub.add_parser(
+        "journal", help="summarize a JSONL run journal written by --journal"
+    )
+    journal.add_argument("file", help="path to a .jsonl run journal")
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.command == "journal":
+        try:
+            events = read_journal(args.file)
+        except JournalError as exc:
+            raise SystemExit(str(exc))
+        print(render_journal_report(events))
+        return 0
+
+    try:
+        configure_logging(args.log_level, json=args.log_json)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    journal = RunJournal(args.journal) if args.journal else None
+    if journal is None:
+        return _run_command(args)
+    # get_real journals its own run span; for every other command the CLI
+    # brackets the invocation so the journal is never event-less.
+    wrap_run = args.command != "getreal"
+    attach_journal(journal)
+    started = time.perf_counter()
+    if wrap_run:
+        journal.run_start(args.command, argv=[str(a) for a in (argv or sys.argv[1:])])
+    try:
+        code = _run_command(args)
+    except BaseException as exc:
+        if wrap_run:
+            journal.run_end(
+                status="error",
+                duration_seconds=time.perf_counter() - started,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        raise
+    else:
+        if wrap_run:
+            journal.run_end(
+                status="ok", duration_seconds=time.perf_counter() - started
+            )
+        return code
+    finally:
+        detach_journal(journal)
+        journal.close()
+
+
+def _run_command(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.scale, directed=not args.undirected)
 
     if args.command == "stats":

@@ -19,6 +19,7 @@ reports.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -36,8 +37,15 @@ from repro.game.mixed import (
 from repro.game.normal_form import NormalFormGame
 from repro.game.pure import is_pure_equilibrium
 from repro.graphs.digraph import DiGraph
+from repro.obs.journal import RunJournal, current_journal
+from repro.obs.log import get_logger
+from repro.obs.metrics import counter
 from repro.utils.rng import RandomSource
 from repro.utils.timing import Stopwatch
+
+_LOG = get_logger("core.getreal")
+
+_RUNS = counter("getreal.runs")
 
 
 @dataclass(frozen=True)
@@ -177,28 +185,89 @@ def get_real(
     rng: RandomSource = None,
     tie_break: TieBreakRule = TieBreakRule.UNIFORM,
     claim_rule: ClaimRule = ClaimRule.PROPORTIONAL,
+    journal: RunJournal | None = None,
 ) -> GetRealResult:
     """Run the full GetReal pipeline: estimate payoffs, then find the NE.
 
     Parameters mirror the paper's setting: *num_groups* rival companies
     each picking *k* seeds using some strategy from *strategies*, diffusing
     under *model* on *graph*.
+
+    When *journal* is given (or attached via
+    :func:`repro.obs.attach_journal`), the run is journalled end to end:
+    ``run_start`` with the full parameterization, one
+    ``profile_start``/``profile_done`` pair per strategy profile,
+    ``equilibrium_found`` with the recommendation, and ``run_end``.
     """
     space = (
         strategies
         if isinstance(strategies, StrategySpace)
         else StrategySpace(list(strategies))
     )
-    table = estimate_payoff_table(
-        graph,
-        model,
-        space,
-        num_groups=num_groups,
-        k=k,
-        rounds=rounds,
-        seed_draws=seed_draws,
-        rng=rng,
-        tie_break=tie_break,
-        claim_rule=claim_rule,
+    sink = journal if journal is not None else current_journal()
+    _RUNS.inc()
+    _LOG.info(
+        "get_real: %d nodes / %d arcs, strategies=%s, r=%d, k=%d, rounds=%d",
+        graph.num_nodes,
+        graph.num_edges,
+        space.labels,
+        num_groups,
+        k,
+        rounds,
     )
-    return solve_strategy_game(table.to_game(), space, payoff_table=table)
+    started = time.perf_counter()
+    if sink is not None:
+        sink.run_start(
+            "get_real",
+            graph_nodes=graph.num_nodes,
+            graph_edges=graph.num_edges,
+            model=type(model).__name__,
+            strategies=space.labels,
+            num_groups=num_groups,
+            k=k,
+            rounds=rounds,
+            seed_draws=seed_draws,
+            tie_break=tie_break.value,
+            claim_rule=claim_rule.value,
+        )
+    try:
+        table = estimate_payoff_table(
+            graph,
+            model,
+            space,
+            num_groups=num_groups,
+            k=k,
+            rounds=rounds,
+            seed_draws=seed_draws,
+            rng=rng,
+            tie_break=tie_break,
+            claim_rule=claim_rule,
+            journal=sink,
+        )
+        result = solve_strategy_game(table.to_game(), space, payoff_table=table)
+    except Exception as exc:
+        if sink is not None:
+            sink.run_end(
+                status="error",
+                duration_seconds=time.perf_counter() - started,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        raise
+    _LOG.info(
+        "equilibrium: %s (regret=%.4f, NE search %.2f ms)",
+        result.describe(),
+        result.regret,
+        result.solve_seconds * 1000,
+    )
+    if sink is not None:
+        sink.equilibrium_found(
+            kind=result.kind,
+            probabilities=result.mixture.probabilities,
+            labels=space.labels,
+            regret=result.regret,
+            solve_seconds=result.solve_seconds,
+        )
+        sink.run_end(
+            status="ok", duration_seconds=time.perf_counter() - started
+        )
+    return result

@@ -17,6 +17,7 @@ evenly across the draws.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from itertools import product
 from typing import Sequence
@@ -30,8 +31,17 @@ from repro.core.strategy import StrategySpace
 from repro.errors import PayoffEstimationError
 from repro.game.normal_form import NormalFormGame
 from repro.graphs.digraph import DiGraph
+from repro.obs.journal import RunJournal, current_journal
+from repro.obs.log import get_logger
+from repro.obs.metrics import counter, histogram
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.validation import check_positive_int
+
+_LOG = get_logger("core.payoff")
+
+_TABLES = counter("payoff.tables_estimated")
+_PROFILES = counter("payoff.profiles_estimated")
+_PROFILE_SECONDS = histogram("payoff.profile_seconds")
 
 
 @dataclass(frozen=True)
@@ -99,6 +109,7 @@ def estimate_payoff_table(
     rng: RandomSource = None,
     tie_break: TieBreakRule = TieBreakRule.UNIFORM,
     claim_rule: ClaimRule = ClaimRule.PROPORTIONAL,
+    journal: RunJournal | None = None,
 ) -> PayoffTable:
     """Estimate the full payoff table for *num_groups* groups over *space*.
 
@@ -106,6 +117,12 @@ def estimate_payoff_table(
     (``z, r ≤ 3``) this is at most 27 profiles.  Per profile, *rounds*
     competitive diffusions are run, split evenly over *seed_draws*
     independent seed-set draws per (group, strategy) pair.
+
+    When *journal* is given (or a journal is attached via
+    :func:`repro.obs.attach_journal`), a ``profile_start`` event is
+    emitted the first time each profile is simulated and a
+    ``profile_done`` event — per-player mean/stderr plus wall-clock
+    duration — once its last seed draw completes.
     """
     r = check_positive_int(num_groups, "num_groups")
     check_positive_int(k, "k")
@@ -118,9 +135,21 @@ def estimate_payoff_table(
     generator = as_rng(rng)
     z = space.size
     rounds_per_draw = rounds // seed_draws
+    sink = journal if journal is not None else current_journal()
+    _LOG.info(
+        "estimating payoff table: z=%d strategies, r=%d groups, "
+        "%d profiles x %d rounds (k=%d, %d seed draws)",
+        z,
+        r,
+        z**r,
+        rounds,
+        k,
+        seed_draws,
+    )
 
     accumulated: dict[tuple[int, ...], list[SpreadEstimate]] = {}
-    for _ in range(seed_draws):
+    durations: dict[tuple[int, ...], float] = {}
+    for draw in range(seed_draws):
         # Independent seed sets per (group, strategy): S[i][j] is what group
         # i would seed if it played strategy j this draw.
         seed_sets = [
@@ -128,6 +157,10 @@ def estimate_payoff_table(
             for i in range(r)
         ]
         for profile in product(range(z), repeat=r):
+            labels = [space[a].name for a in profile]
+            if sink is not None and draw == 0:
+                sink.profile_start(profile, labels)
+            started = time.perf_counter()
             profile_sets = [seed_sets[i][profile[i]] for i in range(r)]
             ests = estimate_competitive_spread(
                 graph,
@@ -138,13 +171,42 @@ def estimate_payoff_table(
                 tie_break=tie_break,
                 claim_rule=claim_rule,
             )
+            elapsed = time.perf_counter() - started
+            _PROFILES.inc()
+            _PROFILE_SECONDS.observe(elapsed)
+            durations[profile] = durations.get(profile, 0.0) + elapsed
             if profile in accumulated:
                 accumulated[profile] = [
                     prev + new for prev, new in zip(accumulated[profile], ests)
                 ]
             else:
                 accumulated[profile] = list(ests)
+            if draw == seed_draws - 1:
+                pooled = accumulated[profile]
+                _LOG.debug(
+                    "profile %s done: means=%s (%.3fs)",
+                    "-".join(labels),
+                    [round(est.mean, 2) for est in pooled],
+                    durations[profile],
+                )
+                if sink is not None:
+                    sink.profile_done(
+                        profile,
+                        labels,
+                        players=[
+                            {
+                                "group": i,
+                                "mean": est.mean,
+                                "stderr": est.stderr,
+                                "std": est.std,
+                                "samples": est.samples,
+                            }
+                            for i, est in enumerate(pooled)
+                        ],
+                        duration_seconds=durations[profile],
+                    )
 
+    _TABLES.inc()
     estimates = {
         profile: tuple(ests) for profile, ests in accumulated.items()
     }

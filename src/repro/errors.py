@@ -43,3 +43,11 @@ class PayoffEstimationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment runner received an invalid configuration."""
+
+
+class ObservabilityError(ReproError):
+    """The observability layer was misconfigured."""
+
+
+class JournalError(ObservabilityError):
+    """A run journal could not be written or parsed."""

@@ -4,11 +4,21 @@ Each function returns a list of row dicts (ready for
 :func:`repro.utils.tables.format_table`); the ``benchmarks/`` directory has
 one pytest-benchmark target per table/figure that calls the matching runner
 and prints the rows the paper reports.
+
+Every runner is wrapped by :func:`_observed`: its wall time lands in a
+``span.experiments.<runner>.seconds`` histogram, start/finish lines go to
+the ``repro.experiments`` logger, and — when a run journal is attached
+(``REPRO_BENCH_JOURNAL`` in the benchmark harness, ``--journal`` in
+``examples/reproduce_paper.py``) — a ``span`` event per runner plus the
+``run_start``/``profile_done``/``equilibrium_found`` events emitted by the
+underlying ``get_real``/``estimate_payoff_table`` calls.
 """
 
 from __future__ import annotations
 
+import functools
 from itertools import product
+from typing import Callable, TypeVar
 
 import numpy as np
 
@@ -20,12 +30,41 @@ from repro.core.strategy import MixedStrategy, StrategySpace
 from repro.experiments.config import ExperimentConfig
 from repro.graphs.datasets import DATASETS
 from repro.graphs.stats import summarize
+from repro.obs.log import get_logger
+from repro.obs.metrics import counter
+from repro.obs.trace import span
 from repro.utils.rng import as_rng
 from repro.utils.timing import Stopwatch
 
 _PAPER_DATASETS = ("hep", "phy", "wiki")
 
+_LOG = get_logger("experiments.runners")
+_RUNNER_CALLS = counter("experiments.runner_calls")
 
+_Runner = TypeVar("_Runner", bound=Callable[..., list])
+
+
+def _observed(runner: _Runner) -> _Runner:
+    """Wrap a runner with logging, a call counter, and a trace span."""
+
+    @functools.wraps(runner)
+    def wrapper(*args: object, **kwargs: object) -> list:
+        _RUNNER_CALLS.inc()
+        _LOG.info("runner %s started", runner.__name__)
+        with span(f"experiments.{runner.__name__}", journal=True) as handle:
+            rows = runner(*args, **kwargs)
+        _LOG.info(
+            "runner %s produced %d rows in %.2fs",
+            runner.__name__,
+            len(rows),
+            handle.elapsed,
+        )
+        return rows
+
+    return wrapper  # type: ignore[return-value]
+
+
+@_observed
 def table3_rows(config: ExperimentConfig) -> list[dict[str, object]]:
     """Table 3: dataset sizes — paper scale vs the surrogate actually used."""
     rows = []
@@ -47,6 +86,7 @@ def table3_rows(config: ExperimentConfig) -> list[dict[str, object]]:
     return rows
 
 
+@_observed
 def jaccard_rows(
     config: ExperimentConfig,
     model_kind: str,
@@ -103,6 +143,7 @@ def jaccard_rows(
     return rows
 
 
+@_observed
 def spread_rows(
     config: ExperimentConfig,
     dataset: str,
@@ -187,6 +228,7 @@ def _mixture_for(
     return result.mixture, space
 
 
+@_observed
 def mixed_vs_random_rows(
     config: ExperimentConfig,
     dataset: str = "hep",
@@ -241,6 +283,7 @@ def mixed_vs_random_rows(
     return rows
 
 
+@_observed
 def profile_rows(
     config: ExperimentConfig,
     dataset: str = "hep",
@@ -292,6 +335,7 @@ def profile_rows(
     return rows
 
 
+@_observed
 def response_time_rows(
     config: ExperimentConfig,
     datasets: tuple[str, ...] = _PAPER_DATASETS,
@@ -344,6 +388,7 @@ def response_time_rows(
     return rows
 
 
+@_observed
 def sensitivity_rows(
     config: ExperimentConfig,
     dataset: str = "hep",
@@ -394,6 +439,7 @@ def sensitivity_rows(
     return rows
 
 
+@_observed
 def coefficient_rows(
     config: ExperimentConfig,
     dataset: str,

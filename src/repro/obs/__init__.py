@@ -1,0 +1,82 @@
+"""Observability layer: structured logging, metrics, trace spans, run journal.
+
+Three independent sinks with one import surface:
+
+* :mod:`repro.obs.log` — per-module loggers, silent until
+  :func:`configure_logging` attaches a handler (text or JSONL);
+* :mod:`repro.obs.metrics` — process-wide counters/gauges/histograms with
+  :func:`metrics_snapshot` / :func:`metrics_reset`;
+* :mod:`repro.obs.journal` — typed JSONL run journal written by
+  ``estimate_payoff_table`` / ``get_real`` and read back into per-profile
+  timing/variance reports;
+* :mod:`repro.obs.trace` — :func:`span` blocks feeding all of the above.
+"""
+
+from repro.obs.log import (
+    JsonLineFormatter,
+    configure_logging,
+    get_logger,
+    logging_configured,
+    reset_logging,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+)
+from repro.obs.metrics import reset as metrics_reset
+from repro.obs.metrics import snapshot as metrics_snapshot
+from repro.obs.journal import (
+    EVENT_TYPES,
+    RunJournal,
+    RunRecord,
+    attach_journal,
+    attached,
+    current_journal,
+    detach_journal,
+    journal_summary_rows,
+    read_journal,
+    reconstruct_runs,
+    render_journal_report,
+)
+from repro.obs.trace import Span, span
+
+__all__ = [
+    # log
+    "configure_logging",
+    "get_logger",
+    "logging_configured",
+    "reset_logging",
+    "JsonLineFormatter",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "get_registry",
+    "metrics_snapshot",
+    "metrics_reset",
+    # journal
+    "EVENT_TYPES",
+    "RunJournal",
+    "RunRecord",
+    "attach_journal",
+    "detach_journal",
+    "attached",
+    "current_journal",
+    "read_journal",
+    "reconstruct_runs",
+    "journal_summary_rows",
+    "render_journal_report",
+    # trace
+    "Span",
+    "span",
+]

@@ -1,0 +1,401 @@
+"""JSONL run journal: typed events from the GetReal pipeline, plus a reader.
+
+A :class:`RunJournal` appends one JSON object per line to a file as a run
+progresses.  The event vocabulary mirrors Algorithm 1's phases:
+
+=====================  ==========================================================
+event                  emitted by / payload highlights
+=====================  ==========================================================
+``run_start``          :func:`repro.core.getreal.get_real` (or the CLI) —
+                       graph size, strategy labels, ``r``/``k``/``rounds``
+``profile_start``      :func:`repro.core.payoff.estimate_payoff_table`, first
+                       time a profile is simulated
+``profile_done``       same, once the profile's last seed draw finishes —
+                       per-player ``mean``/``stderr``/``samples`` plus
+                       ``duration_seconds``
+``equilibrium_found``  :func:`repro.core.getreal.get_real` — ``kind``,
+                       mixture probabilities, regret, NE-search seconds
+``run_end``            pipeline exit — ``status`` (``ok``/``error``), duration
+``span``               :func:`repro.obs.trace.span` with ``journal=True``
+=====================  ==========================================================
+
+Every line also carries ``ts`` (epoch seconds), ``seq`` (per-journal
+monotonic index) and ``run_id``.  The reader side —
+:func:`read_journal`, :func:`reconstruct_runs`,
+:func:`journal_summary_rows`, :func:`render_journal_report` — turns a
+journal file back into per-profile timing/variance tables via
+:mod:`repro.utils.tables`.
+
+Estimation entry points look the journal up through a module-level stack
+(:func:`attach_journal` / :func:`current_journal` / the :func:`attached`
+context manager), so callers several layers up — the CLI, the benchmark
+conftest — can observe a deep pipeline without threading a parameter
+through every signature.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from threading import Lock
+from typing import IO, Any, Iterator, Mapping, Sequence, Union
+
+from repro.errors import JournalError
+from repro.utils.tables import format_table
+
+#: Known event types; unknown types are rejected at write time so typos in
+#: instrumentation fail fast instead of corrupting downstream analysis.
+EVENT_TYPES = (
+    "run_start",
+    "profile_start",
+    "profile_done",
+    "equilibrium_found",
+    "run_end",
+    "span",
+    "note",
+)
+
+
+def _generate_run_id() -> str:
+    return f"run-{time.strftime('%Y%m%d-%H%M%S')}-{os.getpid()}"
+
+
+class RunJournal:
+    """Append-only JSONL event sink for one observability session.
+
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "j.jsonl")
+    >>> with RunJournal(path) as journal:
+    ...     journal.emit("note", message="hello")
+    >>> events = read_journal(path)
+    >>> events[0]["event"], events[0]["message"]
+    ('note', 'hello')
+    """
+
+    def __init__(self, path: Union[str, Path], run_id: str | None = None):
+        self.path = Path(path)
+        self.run_id = run_id or _generate_run_id()
+        self._handle: IO[str] | None = None
+        self._seq = 0
+        self._lock = Lock()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _ensure_open(self) -> IO[str]:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+
+    def emit(self, event: str, **fields: Any) -> dict[str, Any]:
+        """Append one typed event; returns the record written."""
+        if event not in EVENT_TYPES:
+            raise JournalError(
+                f"unknown journal event {event!r}; known: {EVENT_TYPES}"
+            )
+        with self._lock:
+            record: dict[str, Any] = {
+                "event": event,
+                "ts": time.time(),
+                "seq": self._seq,
+                "run_id": self.run_id,
+            }
+            record.update(fields)
+            handle = self._ensure_open()
+            handle.write(json.dumps(record, default=str) + "\n")
+            handle.flush()
+            self._seq += 1
+        return record
+
+    # Typed helpers keep call sites short and the schema greppable.
+
+    def run_start(self, command: str, **params: Any) -> None:
+        self.emit("run_start", command=command, **params)
+
+    def profile_start(
+        self, profile: Sequence[int], labels: Sequence[str]
+    ) -> None:
+        self.emit(
+            "profile_start", profile=list(profile), labels=list(labels)
+        )
+
+    def profile_done(
+        self,
+        profile: Sequence[int],
+        labels: Sequence[str],
+        players: Sequence[Mapping[str, Any]],
+        duration_seconds: float,
+    ) -> None:
+        self.emit(
+            "profile_done",
+            profile=list(profile),
+            labels=list(labels),
+            players=[dict(p) for p in players],
+            duration_seconds=float(duration_seconds),
+        )
+
+    def equilibrium_found(
+        self,
+        kind: str,
+        probabilities: Sequence[float],
+        labels: Sequence[str],
+        regret: float,
+        solve_seconds: float,
+    ) -> None:
+        self.emit(
+            "equilibrium_found",
+            kind=kind,
+            probabilities=[float(p) for p in probabilities],
+            labels=list(labels),
+            regret=float(regret),
+            solve_seconds=float(solve_seconds),
+        )
+
+    def run_end(
+        self,
+        status: str = "ok",
+        duration_seconds: float | None = None,
+        error: str | None = None,
+    ) -> None:
+        fields: dict[str, Any] = {"status": status}
+        if duration_seconds is not None:
+            fields["duration_seconds"] = float(duration_seconds)
+        if error is not None:
+            fields["error"] = error
+        self.emit("run_end", **fields)
+
+
+# ---------------------------------------------------------------------- #
+# active-journal stack
+# ---------------------------------------------------------------------- #
+
+_ACTIVE: list[RunJournal] = []
+
+
+def attach_journal(journal: RunJournal) -> RunJournal:
+    """Make *journal* the journal returned by :func:`current_journal`."""
+    _ACTIVE.append(journal)
+    return journal
+
+
+def detach_journal(journal: RunJournal | None = None) -> None:
+    """Pop the active journal (a specific one, or the top of the stack)."""
+    if not _ACTIVE:
+        return
+    if journal is None:
+        _ACTIVE.pop()
+    elif journal in _ACTIVE:
+        _ACTIVE.remove(journal)
+
+
+def current_journal() -> RunJournal | None:
+    """The innermost attached journal, or None."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def attached(journal: RunJournal) -> Iterator[RunJournal]:
+    """Scope *journal* as the active journal for a ``with`` block."""
+    attach_journal(journal)
+    try:
+        yield journal
+    finally:
+        detach_journal(journal)
+
+
+# ---------------------------------------------------------------------- #
+# reading / reconstruction
+# ---------------------------------------------------------------------- #
+
+
+def read_journal(path: Union[str, Path]) -> list[dict[str, Any]]:
+    """Parse a JSONL journal file into a list of event dicts."""
+    path = Path(path)
+    if not path.exists():
+        raise JournalError(f"journal file not found: {path}")
+    events: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise JournalError(
+                    f"{path}:{lineno}: not valid JSON ({exc})"
+                ) from exc
+            if not isinstance(record, dict) or "event" not in record:
+                raise JournalError(
+                    f"{path}:{lineno}: journal records need an 'event' field"
+                )
+            events.append(record)
+    return events
+
+
+@dataclass
+class RunRecord:
+    """One reconstructed pipeline run (a ``run_start`` .. ``run_end`` span)."""
+
+    index: int
+    start: dict[str, Any] | None = None
+    end: dict[str, Any] | None = None
+    profiles: list[dict[str, Any]] = field(default_factory=list)
+    equilibrium: dict[str, Any] | None = None
+
+    @property
+    def command(self) -> str:
+        return str(self.start.get("command", "?")) if self.start else "?"
+
+    @property
+    def status(self) -> str:
+        if self.end is None:
+            return "incomplete"
+        return str(self.end.get("status", "?"))
+
+    @property
+    def duration_seconds(self) -> float | None:
+        if self.end and "duration_seconds" in self.end:
+            return float(self.end["duration_seconds"])
+        if self.start and self.end:
+            return float(self.end["ts"]) - float(self.start["ts"])
+        return None
+
+
+def reconstruct_runs(events: Sequence[Mapping[str, Any]]) -> list[RunRecord]:
+    """Group a flat event stream into :class:`RunRecord` objects.
+
+    Events arriving before any ``run_start`` (e.g. a bare
+    ``estimate_payoff_table`` call with a journal attached but no
+    surrounding ``get_real``) are collected into a synthetic run 0.
+    """
+    runs: list[RunRecord] = []
+    current: RunRecord | None = None
+    for event in events:
+        kind = event.get("event")
+        if kind == "run_start":
+            current = RunRecord(index=len(runs), start=dict(event))
+            runs.append(current)
+            continue
+        if current is None:
+            current = RunRecord(index=len(runs))
+            runs.append(current)
+        if kind == "profile_done":
+            current.profiles.append(dict(event))
+        elif kind == "equilibrium_found":
+            current.equilibrium = dict(event)
+        elif kind == "run_end":
+            current.end = dict(event)
+            current = None
+    return runs
+
+
+def journal_summary_rows(
+    events: Sequence[Mapping[str, Any]],
+) -> list[dict[str, object]]:
+    """Per-profile timing/variance rows across every run in *events*."""
+    rows: list[dict[str, object]] = []
+    for run in reconstruct_runs(events):
+        for done in run.profiles:
+            labels = done.get("labels") or [
+                str(a) for a in done.get("profile", [])
+            ]
+            duration = float(done.get("duration_seconds", 0.0))
+            for player in done.get("players", []):
+                rows.append(
+                    {
+                        "run": run.index,
+                        "profile": "-".join(labels),
+                        "group": f"p{int(player.get('group', 0)) + 1}",
+                        "mean": float(player.get("mean", float("nan"))),
+                        "stderr": float(player.get("stderr", float("nan"))),
+                        "samples": int(player.get("samples", 0)),
+                        "seconds": duration,
+                    }
+                )
+    return rows
+
+
+def render_journal_report(events: Sequence[Mapping[str, Any]]) -> str:
+    """Human-readable report for ``python -m repro journal <file.jsonl>``."""
+    runs = reconstruct_runs(events)
+    if not runs:
+        return "(empty journal)"
+    sections: list[str] = []
+
+    run_rows: list[dict[str, object]] = []
+    for run in runs:
+        eq = run.equilibrium or {}
+        mixture = ""
+        if eq:
+            mixture = ", ".join(
+                f"{label}:{prob:.3f}"
+                for label, prob in zip(
+                    eq.get("labels", []), eq.get("probabilities", [])
+                )
+            )
+        run_rows.append(
+            {
+                "run": run.index,
+                "command": run.command,
+                "status": run.status,
+                "profiles": len(run.profiles),
+                "equilibrium": eq.get("kind", ""),
+                "mixture": mixture,
+                "regret": float(eq["regret"]) if "regret" in eq else "",
+                "seconds": (
+                    round(run.duration_seconds, 4)
+                    if run.duration_seconds is not None
+                    else ""
+                ),
+            }
+        )
+    sections.append(format_table(run_rows, title="runs"))
+
+    profile_rows = journal_summary_rows(events)
+    if profile_rows:
+        total = sum(
+            float(e.get("duration_seconds", 0.0))
+            for e in events
+            if e.get("event") == "profile_done"
+        ) or 1.0
+        for row in profile_rows:
+            row["time_share"] = float(row["seconds"]) / total
+        sections.append(
+            format_table(
+                profile_rows, title="per-profile estimates (timing & variance)"
+            )
+        )
+
+    spans = [e for e in events if e.get("event") == "span"]
+    if spans:
+        span_rows = [
+            {
+                "span": s.get("name", "?"),
+                "seconds": float(s.get("duration_seconds", 0.0)),
+            }
+            for s in spans
+        ]
+        sections.append(format_table(span_rows, title="spans"))
+    return "\n\n".join(sections)

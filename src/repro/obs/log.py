@@ -1,0 +1,146 @@
+"""Structured logging for the :mod:`repro` package.
+
+The library is silent by default: every module logs through a child of the
+``repro`` logger, which carries only a :class:`logging.NullHandler` until
+:func:`configure_logging` is called.  Applications (the CLI, the benchmark
+harness, notebooks) opt in with::
+
+    from repro.obs import configure_logging
+    configure_logging("info")            # human-readable lines on stderr
+    configure_logging("debug", json=True)  # one JSON object per line
+
+``configure_logging`` is idempotent: repeated calls reconfigure the single
+handler it owns instead of stacking duplicates, so test suites and REPL
+sessions can call it freely.
+"""
+
+from __future__ import annotations
+
+import json as _json
+import logging
+import sys
+from typing import IO
+
+#: Root of the library's logger hierarchy; every module logger is a child.
+ROOT_LOGGER_NAME = "repro"
+
+#: Attribute used to mark the handler owned by :func:`configure_logging`.
+_HANDLER_TAG = "_repro_obs_handler"
+
+#: ``logging`` record attributes that are *not* user-supplied extras.
+_RESERVED_RECORD_FIELDS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Format each record as a single JSON object (JSONL-friendly).
+
+    Standard fields: ``ts`` (ISO-8601), ``level``, ``logger``, ``message``.
+    Anything passed via ``logger.info(..., extra={...})`` is merged in, so
+    structured context survives into log processors.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, object] = {
+            "ts": self.formatTime(record, "%Y-%m-%dT%H:%M:%S"),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED_RECORD_FIELDS and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return _json.dumps(payload, default=str)
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    ``get_logger("cascade.competitive")`` and
+    ``get_logger("repro.cascade.competitive")`` return the same logger;
+    ``get_logger()`` returns the library root.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def _coerce_level(level: int | str) -> int:
+    if isinstance(level, int):
+        return level
+    resolved = logging.getLevelName(str(level).upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {level!r}")
+    return resolved
+
+
+def _owned_handlers(root: logging.Logger) -> list[logging.Handler]:
+    return [h for h in root.handlers if getattr(h, _HANDLER_TAG, False)]
+
+
+def configure_logging(
+    level: int | str = "INFO",
+    json: bool = False,
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """Attach (or reconfigure) the library's log handler and set *level*.
+
+    Parameters
+    ----------
+    level:
+        Threshold as a :mod:`logging` constant or name (``"debug"``,
+        ``"INFO"``, ...).
+    json:
+        Emit one JSON object per line instead of human-readable text.
+    stream:
+        Target stream; defaults to ``sys.stderr`` so tables printed on
+        stdout stay machine-readable.
+
+    Returns the root ``repro`` logger.  Calling this twice replaces the
+    previous configuration rather than adding a second handler.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in _owned_handlers(root):
+        root.removeHandler(handler)
+        handler.close()
+
+    handler = logging.StreamHandler(stream or sys.stderr)
+    setattr(handler, _HANDLER_TAG, True)
+    if json:
+        handler.setFormatter(JsonLineFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter(
+                "%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+                datefmt="%H:%M:%S",
+            )
+        )
+    root.addHandler(handler)
+    root.setLevel(_coerce_level(level))
+    root.propagate = False
+    return root
+
+
+def logging_configured() -> bool:
+    """True if :func:`configure_logging` has attached a handler."""
+    return bool(_owned_handlers(logging.getLogger(ROOT_LOGGER_NAME)))
+
+
+def reset_logging() -> None:
+    """Detach the handler installed by :func:`configure_logging` (test helper)."""
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in _owned_handlers(root):
+        root.removeHandler(handler)
+        handler.close()
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+
+
+# Silent-by-default: without configuration, records fall into a NullHandler
+# instead of the lastResort stderr handler.
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())

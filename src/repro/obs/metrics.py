@@ -1,0 +1,233 @@
+"""Process-wide metrics registry: counters, gauges, and histograms.
+
+The simulation stack increments these from its hot paths (simulations run,
+nodes activated, seed collisions resolved, frontier sizes, per-profile wall
+time).  The design goals are:
+
+* **negligible overhead when nobody is looking** — an increment is a couple
+  of attribute updates on a plain Python object; no locks on the hot path,
+  no string formatting, no I/O;
+* **stable handles** — modules cache ``counter("cascade.simulations")`` at
+  import time; :meth:`MetricsRegistry.reset` zeroes instruments *in place*
+  so cached handles stay live across resets;
+* **one snapshot call** — :func:`snapshot` returns a plain nested dict
+  ready for JSON, tables, or assertions in tests.
+
+Instrument names are dotted paths (``layer.subject[.detail]``), e.g.
+``cascade.simulations``, ``payoff.profile_seconds``,
+``algorithms.ddic.select_seconds``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterator
+
+
+class Counter:
+    """Monotonically increasing count (resettable to zero)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """Last-written value (e.g. current graph size, active journal)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Streaming aggregate of observed values (count/mean/std/min/max).
+
+    Keeps O(1) state — count, total, sum of squares, extrema — rather than
+    samples, so observing from a loop that runs thousands of times per
+    second is safe.
+    """
+
+    __slots__ = ("name", "count", "total", "sum_squares", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.sum_squares = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.sum_squares += value * value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        if self.count < 2:
+            return 0.0
+        variance = self.sum_squares / self.count - self.mean**2
+        return math.sqrt(max(0.0, variance))
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.sum_squares = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:.4g})"
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics.
+
+    Creation takes a lock (it happens once per instrument); increments on
+    the returned objects are lock-free.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            with self._lock:
+                return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self._gauges[name]
+        except KeyError:
+            with self._lock:
+                return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        try:
+            return self._histograms[name]
+        except KeyError:
+            with self._lock:
+                return self._histograms.setdefault(name, Histogram(name))
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """Plain-dict view of every instrument (JSON/table ready)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.as_dict() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument **in place** (cached handles stay valid)."""
+        with self._lock:
+            for instrument in self._iter_instruments():
+                instrument.reset()
+
+    def _iter_instruments(self) -> Iterator[Counter | Gauge | Histogram]:
+        yield from self._counters.values()
+        yield from self._gauges.values()
+        yield from self._histograms.values()
+
+    def rows(self) -> list[dict[str, object]]:
+        """Counter/histogram rows for :func:`repro.utils.tables.format_table`."""
+        out: list[dict[str, object]] = []
+        for name, ctr in sorted(self._counters.items()):
+            out.append({"metric": name, "kind": "counter", "value": ctr.value})
+        for name, gauge in sorted(self._gauges.items()):
+            out.append({"metric": name, "kind": "gauge", "value": gauge.value})
+        for name, hist in sorted(self._histograms.items()):
+            out.append(
+                {
+                    "metric": name,
+                    "kind": "histogram",
+                    "value": hist.count,
+                    "mean": hist.mean,
+                    "min": hist.min if hist.count else 0.0,
+                    "max": hist.max if hist.count else 0.0,
+                }
+            )
+        return out
+
+
+#: The process-wide default registry used by the simulation stack.
+_DEFAULT = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _DEFAULT
+
+
+def counter(name: str) -> Counter:
+    """Get-or-create a counter in the default registry."""
+    return _DEFAULT.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Get-or-create a gauge in the default registry."""
+    return _DEFAULT.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """Get-or-create a histogram in the default registry."""
+    return _DEFAULT.histogram(name)
+
+
+def snapshot() -> dict[str, dict[str, object]]:
+    """Snapshot of the default registry."""
+    return _DEFAULT.snapshot()
+
+
+def reset() -> None:
+    """Zero every instrument in the default registry."""
+    _DEFAULT.reset()

@@ -1,0 +1,77 @@
+"""Trace spans: timed blocks that feed the log, metrics, and journal layers.
+
+A span is the cheap glue between the three sinks: it debug-logs entry/exit,
+observes its duration into a ``span.<name>.seconds`` histogram, and — when
+asked — appends a ``span`` event to the active run journal::
+
+    from repro.obs import span
+
+    with span("payoff.table", profiles=9):
+        ...
+
+Nesting is fine; spans are independent of each other.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs import metrics as _metrics
+from repro.obs.journal import current_journal
+from repro.obs.log import get_logger
+
+_LOG = get_logger("obs.trace")
+
+
+class Span:
+    """Handle yielded by :func:`span`; ``elapsed`` is set on exit."""
+
+    __slots__ = ("name", "fields", "elapsed")
+
+    def __init__(self, name: str, fields: dict[str, Any]):
+        self.name = name
+        self.fields = fields
+        self.elapsed = 0.0
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, elapsed={self.elapsed:.4f}s)"
+
+
+@contextmanager
+def span(
+    name: str, journal: bool = False, **fields: Any
+) -> Iterator[Span]:
+    """Time a block under *name*.
+
+    Parameters
+    ----------
+    name:
+        Dotted span name; the duration lands in the
+        ``span.<name>.seconds`` histogram.
+    journal:
+        Also append a ``span`` event to the active run journal (if one is
+        attached).
+    fields:
+        Extra context logged at debug level and copied into the journal
+        event.
+    """
+    handle = Span(name, fields)
+    _LOG.debug("span %s started %s", name, fields or "")
+    started = time.perf_counter()
+    try:
+        yield handle
+    finally:
+        handle.elapsed = time.perf_counter() - started
+        _metrics.histogram(f"span.{name}.seconds").observe(handle.elapsed)
+        _LOG.debug("span %s finished in %.4fs", name, handle.elapsed)
+        if journal:
+            sink = current_journal()
+            if sink is not None:
+                sink.emit(
+                    "span",
+                    name=name,
+                    duration_seconds=handle.elapsed,
+                    **fields,
+                )

@@ -42,8 +42,35 @@ class TestSpreadEstimate:
         direct = SpreadEstimate.from_values(np.concatenate([a, b]))
         assert pooled.mean == pytest.approx(direct.mean)
         assert pooled.samples == 50
-        # Pooled std uses ddof=0 combination; should match within ~5%.
-        assert pooled.std == pytest.approx(direct.std, rel=0.05)
+        # Pooling uses the same ddof=1 convention as from_values, so the
+        # combined std (and hence stderr) is exact, not approximate.
+        assert pooled.std == pytest.approx(direct.std, rel=1e-12)
+        assert pooled.stderr == pytest.approx(direct.stderr, rel=1e-12)
+
+    def test_pooling_chain_matches_concatenation(self):
+        # Repeated pooling (the estimate accumulation pattern used by
+        # estimate_payoff_table across seed draws) must stay consistent
+        # with a single fit over all the values.
+        rng = np.random.default_rng(7)
+        chunks = [rng.normal(50, 5, size=n) for n in (5, 17, 3, 40)]
+        pooled = SpreadEstimate.from_values(chunks[0])
+        for chunk in chunks[1:]:
+            pooled = pooled + SpreadEstimate.from_values(chunk)
+        direct = SpreadEstimate.from_values(np.concatenate(chunks))
+        assert pooled.samples == direct.samples
+        assert pooled.mean == pytest.approx(direct.mean)
+        assert pooled.std == pytest.approx(direct.std, rel=1e-12)
+
+    def test_pooling_single_samples(self):
+        # Two single-sample estimates (each std 0, stderr inf) pool into a
+        # well-defined two-sample estimate.
+        pooled = SpreadEstimate.from_values([2.0]) + SpreadEstimate.from_values(
+            [4.0]
+        )
+        direct = SpreadEstimate.from_values([2.0, 4.0])
+        assert pooled.mean == pytest.approx(direct.mean)
+        assert pooled.std == pytest.approx(direct.std)
+        assert pooled.samples == 2
 
     def test_add_wrong_type(self):
         with pytest.raises(TypeError):

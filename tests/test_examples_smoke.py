@@ -5,6 +5,7 @@ manually / by the benchmark suite); each is invoked as a subprocess so
 import side effects and ``__main__`` guards are covered too.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -12,6 +13,22 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def _env(base: dict | None = None) -> dict:
+    """Subprocess env with the repo's src/ on PYTHONPATH.
+
+    Examples import :mod:`repro`, which is not installed in the test
+    environment — the interpreter finds it through PYTHONPATH, so any env
+    we hand to a subprocess must carry (or gain) the src path.
+    """
+    env = dict(os.environ) if base is None else dict(base)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{SRC}{os.pathsep}{existing}" if existing else str(SRC)
+    )
+    return env
 
 
 def _run(script: str, timeout: int = 240) -> subprocess.CompletedProcess:
@@ -20,6 +37,7 @@ def _run(script: str, timeout: int = 240) -> subprocess.CompletedProcess:
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=_env(),
     )
 
 
@@ -48,6 +66,7 @@ class TestExampleScripts:
             capture_output=True,
             text=True,
             timeout=60,
+            env=_env(),
         )
         assert result.returncode == 2
         assert "unknown experiment" in result.stdout
@@ -58,14 +77,18 @@ class TestExampleScripts:
             capture_output=True,
             text=True,
             timeout=120,
-            env={
-                "REPRO_BENCH_NODES": "300",
-                "REPRO_BENCH_ROUNDS": "3",
-                "REPRO_BENCH_SNAPSHOTS": "5",
-                "REPRO_BENCH_KS": "3",
-                "PATH": "/usr/bin:/bin:/usr/local/bin",
-                "HOME": "/root",
-            },
+            env=_env(
+                {
+                    "REPRO_BENCH_NODES": "300",
+                    "REPRO_BENCH_ROUNDS": "3",
+                    "REPRO_BENCH_SNAPSHOTS": "5",
+                    "REPRO_BENCH_KS": "3",
+                    "PATH": os.environ.get(
+                        "PATH", "/usr/bin:/bin:/usr/local/bin"
+                    ),
+                    "HOME": os.environ.get("HOME", "/root"),
+                }
+            ),
         )
         assert result.returncode == 0, result.stderr
         assert "Table 3" in result.stdout

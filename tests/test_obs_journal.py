@@ -1,0 +1,282 @@
+"""Tests for repro.obs.journal: JSONL run journal, reader, and CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import JournalError
+from repro.graphs.generators import karate_like_fixture
+from repro.graphs.loaders import save_edge_list
+from repro.obs.journal import (
+    RunJournal,
+    attach_journal,
+    attached,
+    current_journal,
+    detach_journal,
+    journal_summary_rows,
+    read_journal,
+    reconstruct_runs,
+    render_journal_report,
+)
+
+
+@pytest.fixture
+def journal_path(tmp_path):
+    return tmp_path / "run.jsonl"
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, journal_path):
+        with RunJournal(journal_path, run_id="r1") as journal:
+            journal.run_start("get_real", graph_nodes=34, k=3)
+            journal.profile_start((0, 1), ["ddic", "random"])
+            journal.profile_done(
+                (0, 1),
+                ["ddic", "random"],
+                players=[
+                    {"group": 0, "mean": 9.5, "stderr": 0.4, "samples": 20},
+                    {"group": 1, "mean": 4.0, "stderr": 0.3, "samples": 20},
+                ],
+                duration_seconds=0.25,
+            )
+            journal.equilibrium_found(
+                "pure", [1.0, 0.0], ["ddic", "random"], 0.0, 0.001
+            )
+            journal.run_end(status="ok", duration_seconds=0.5)
+
+        events = read_journal(journal_path)
+        assert [e["event"] for e in events] == [
+            "run_start",
+            "profile_start",
+            "profile_done",
+            "equilibrium_found",
+            "run_end",
+        ]
+        assert all(e["run_id"] == "r1" for e in events)
+        assert [e["seq"] for e in events] == [0, 1, 2, 3, 4]
+        done = events[2]
+        assert done["players"][0]["mean"] == 9.5
+        assert done["duration_seconds"] == 0.25
+
+    def test_lines_are_plain_jsonl(self, journal_path):
+        with RunJournal(journal_path) as journal:
+            journal.emit("note", message="hello")
+        lines = journal_path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["event"] == "note"
+        assert "ts" in record and "seq" in record
+
+    def test_append_mode_across_journals(self, journal_path):
+        with RunJournal(journal_path) as journal:
+            journal.emit("note", message="first")
+        with RunJournal(journal_path) as journal:
+            journal.emit("note", message="second")
+        assert [e["message"] for e in read_journal(journal_path)] == [
+            "first",
+            "second",
+        ]
+
+    def test_unknown_event_rejected(self, journal_path):
+        journal = RunJournal(journal_path)
+        with pytest.raises(JournalError, match="unknown journal event"):
+            journal.emit("profile_dnoe")
+        journal.close()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(JournalError, match="not found"):
+            read_journal(tmp_path / "absent.jsonl")
+
+    def test_corrupt_line(self, journal_path):
+        journal_path.write_text('{"event": "note"}\nnot json\n')
+        with pytest.raises(JournalError, match="not valid JSON"):
+            read_journal(journal_path)
+
+    def test_record_without_event_field(self, journal_path):
+        journal_path.write_text('{"ts": 1}\n')
+        with pytest.raises(JournalError, match="'event' field"):
+            read_journal(journal_path)
+
+
+class TestActiveJournalStack:
+    def test_attach_detach(self, journal_path):
+        assert current_journal() is None
+        journal = RunJournal(journal_path)
+        attach_journal(journal)
+        assert current_journal() is journal
+        detach_journal(journal)
+        assert current_journal() is None
+
+    def test_attached_context_manager(self, journal_path):
+        with attached(RunJournal(journal_path)) as journal:
+            assert current_journal() is journal
+        assert current_journal() is None
+
+    def test_nesting_is_a_stack(self, journal_path, tmp_path):
+        outer = RunJournal(journal_path)
+        inner = RunJournal(tmp_path / "inner.jsonl")
+        with attached(outer):
+            with attached(inner):
+                assert current_journal() is inner
+            assert current_journal() is outer
+        assert current_journal() is None
+
+    def test_detach_tolerates_unattached(self, journal_path):
+        detach_journal(RunJournal(journal_path))  # no-op, no raise
+
+
+class TestReader:
+    def _sample_events(self):
+        return [
+            {"event": "run_start", "ts": 0.0, "command": "get_real"},
+            {
+                "event": "profile_done",
+                "ts": 1.0,
+                "profile": [0, 1],
+                "labels": ["ddic", "random"],
+                "players": [
+                    {"group": 0, "mean": 9.0, "stderr": 0.5, "samples": 10},
+                    {"group": 1, "mean": 3.0, "stderr": 0.2, "samples": 10},
+                ],
+                "duration_seconds": 0.75,
+            },
+            {
+                "event": "equilibrium_found",
+                "ts": 2.0,
+                "kind": "pure",
+                "labels": ["ddic", "random"],
+                "probabilities": [1.0, 0.0],
+                "regret": 0.0,
+            },
+            {
+                "event": "run_end",
+                "ts": 3.0,
+                "status": "ok",
+                "duration_seconds": 3.0,
+            },
+        ]
+
+    def test_reconstruct_runs(self):
+        runs = reconstruct_runs(self._sample_events())
+        assert len(runs) == 1
+        run = runs[0]
+        assert run.command == "get_real"
+        assert run.status == "ok"
+        assert run.duration_seconds == 3.0
+        assert len(run.profiles) == 1
+        assert run.equilibrium["kind"] == "pure"
+
+    def test_orphan_events_get_synthetic_run(self):
+        # A bare estimate_payoff_table call journals profile events with no
+        # surrounding run_start.
+        events = [e for e in self._sample_events() if e["event"] != "run_start"]
+        runs = reconstruct_runs(events)
+        assert len(runs) == 1
+        assert runs[0].command == "?"
+        assert len(runs[0].profiles) == 1
+
+    def test_summary_rows(self):
+        rows = journal_summary_rows(self._sample_events())
+        assert len(rows) == 2  # one per player
+        assert rows[0]["profile"] == "ddic-random"
+        assert rows[0]["group"] == "p1"
+        assert rows[0]["mean"] == 9.0
+        assert rows[1]["group"] == "p2"
+        assert all(row["seconds"] == 0.75 for row in rows)
+
+    def test_render_report(self):
+        report = render_journal_report(self._sample_events())
+        assert "runs" in report
+        assert "get_real" in report
+        assert "ddic-random" in report
+        assert "per-profile estimates" in report
+
+    def test_render_empty(self):
+        assert render_journal_report([]) == "(empty journal)"
+
+
+class TestCliIntegration:
+    @pytest.fixture
+    def karate_file(self, tmp_path):
+        path = tmp_path / "karate.txt"
+        save_edge_list(karate_like_fixture(), path)
+        return str(path)
+
+    def test_getreal_writes_journal(self, karate_file, journal_path, capsys):
+        code = main(
+            [
+                "getreal",
+                karate_file,
+                "--strategies",
+                "ddic,random",
+                "--k",
+                "3",
+                "--rounds",
+                "5",
+                "--journal",
+                str(journal_path),
+            ]
+        )
+        assert code == 0
+        events = read_journal(journal_path)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "run_start"
+        assert "equilibrium_found" in kinds
+        assert kinds[-1] == "run_end"
+        # 2 strategies x 2 groups -> 4 profiles, one profile_done each.
+        assert kinds.count("profile_done") == 4
+        for done in (e for e in events if e["event"] == "profile_done"):
+            assert {"mean", "stderr", "samples"} <= set(done["players"][0])
+            assert done["duration_seconds"] >= 0.0
+        # The journal must not leak into later pipeline calls.
+        assert current_journal() is None
+
+    def test_journal_subcommand_renders_report(
+        self, karate_file, journal_path, capsys
+    ):
+        main(
+            [
+                "getreal",
+                karate_file,
+                "--strategies",
+                "ddic,random",
+                "--k",
+                "2",
+                "--rounds",
+                "4",
+                "--journal",
+                str(journal_path),
+            ]
+        )
+        capsys.readouterr()  # drop pipeline output
+        assert main(["journal", str(journal_path)]) == 0
+        out = capsys.readouterr().out
+        assert "runs" in out
+        assert "per-profile estimates" in out
+        assert "ddic" in out and "random" in out
+
+    def test_journal_subcommand_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["journal", str(tmp_path / "none.jsonl")])
+
+    def test_non_getreal_commands_bracketed(self, karate_file, journal_path, capsys):
+        code = main(
+            [
+                "seeds",
+                karate_file,
+                "--algorithm",
+                "ddic",
+                "--k",
+                "3",
+                "--journal",
+                str(journal_path),
+            ]
+        )
+        assert code == 0
+        events = read_journal(journal_path)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "run_start"
+        assert events[0]["command"] == "seeds"
+        assert kinds[-1] == "run_end"
+        assert events[-1]["status"] == "ok"

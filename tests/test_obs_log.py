@@ -1,0 +1,128 @@
+"""Tests for repro.obs.log: structured logging configuration."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import (
+    ROOT_LOGGER_NAME,
+    JsonLineFormatter,
+    configure_logging,
+    get_logger,
+    logging_configured,
+    reset_logging,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_logging():
+    """Leave the global logging state as we found it."""
+    reset_logging()
+    yield
+    reset_logging()
+
+
+def _owned_handler_count() -> int:
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    return sum(
+        1 for h in root.handlers if getattr(h, "_repro_obs_handler", False)
+    )
+
+
+class TestGetLogger:
+    def test_prefixes_bare_names(self):
+        assert get_logger("cascade.sim").name == "repro.cascade.sim"
+
+    def test_keeps_qualified_names(self):
+        assert get_logger("repro.core.payoff").name == "repro.core.payoff"
+
+    def test_default_is_library_root(self):
+        assert get_logger().name == ROOT_LOGGER_NAME
+
+    def test_children_share_the_hierarchy(self):
+        child = get_logger("anything")
+        assert child.parent is not None
+        assert child.name.startswith(ROOT_LOGGER_NAME + ".")
+
+
+class TestConfigureLogging:
+    def test_attaches_exactly_one_handler(self):
+        assert not logging_configured()
+        configure_logging("info")
+        assert logging_configured()
+        assert _owned_handler_count() == 1
+
+    def test_idempotent(self):
+        configure_logging("info")
+        configure_logging("debug")
+        configure_logging("warning", json=True)
+        assert _owned_handler_count() == 1
+
+    def test_sets_level(self):
+        root = configure_logging("debug")
+        assert root.level == logging.DEBUG
+        configure_logging("ERROR")
+        assert root.level == logging.ERROR
+        configure_logging(logging.INFO)
+        assert root.level == logging.INFO
+
+    def test_rejects_unknown_level(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("chatty")
+
+    def test_writes_to_supplied_stream(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        get_logger("unit").info("spread estimated")
+        assert "spread estimated" in stream.getvalue()
+
+    def test_silent_below_threshold(self):
+        stream = io.StringIO()
+        configure_logging("warning", stream=stream)
+        get_logger("unit").info("not shown")
+        assert stream.getvalue() == ""
+
+    def test_reset_detaches(self):
+        configure_logging("info")
+        reset_logging()
+        assert not logging_configured()
+        assert _owned_handler_count() == 0
+
+    def test_silent_by_default(self, capsys):
+        # Without configure_logging, records must not hit stderr via the
+        # logging module's last-resort handler.
+        get_logger("unit").warning("should be swallowed")
+        captured = capsys.readouterr()
+        assert "should be swallowed" not in captured.err
+
+
+class TestJsonLines:
+    def test_records_are_json_objects(self):
+        stream = io.StringIO()
+        configure_logging("info", json=True, stream=stream)
+        get_logger("unit").info("payoff table done")
+        record = json.loads(stream.getvalue().strip())
+        assert record["message"] == "payoff table done"
+        assert record["level"] == "INFO"
+        assert record["logger"] == "repro.unit"
+        assert "ts" in record
+
+    def test_extras_survive(self):
+        stream = io.StringIO()
+        configure_logging("info", json=True, stream=stream)
+        get_logger("unit").info(
+            "profile done", extra={"profile": [0, 1], "seconds": 0.25}
+        )
+        record = json.loads(stream.getvalue().strip())
+        assert record["profile"] == [0, 1]
+        assert record["seconds"] == 0.25
+
+    def test_formatter_handles_percent_args(self):
+        formatter = JsonLineFormatter()
+        record = logging.LogRecord(
+            "repro.unit", logging.INFO, __file__, 1, "%d rounds", (42,), None
+        )
+        payload = json.loads(formatter.format(record))
+        assert payload["message"] == "42 rounds"

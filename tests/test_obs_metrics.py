@@ -1,0 +1,183 @@
+"""Tests for repro.obs.metrics: counters, gauges, histograms, registry."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    get_registry,
+    histogram,
+    reset,
+    snapshot,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """Zero the process-wide registry around every test."""
+    reset()
+    yield
+    reset()
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        c.reset()
+        assert c.value == 0
+
+    def test_gauge_keeps_last_value(self):
+        g = Gauge("x")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+        g.reset()
+        assert g.value == 0.0
+
+    def test_histogram_aggregates(self):
+        h = Histogram("x")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            h.observe(value)
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.mean == pytest.approx(2.5)
+        # Population std of {1,2,3,4}.
+        assert h.std == pytest.approx(math.sqrt(1.25))
+        assert h.min == 1.0
+        assert h.max == 4.0
+
+    def test_histogram_empty_is_well_defined(self):
+        h = Histogram("x")
+        assert h.mean == 0.0
+        assert h.std == 0.0
+        d = h.as_dict()
+        assert d["count"] == 0
+        assert d["min"] == 0.0 and d["max"] == 0.0
+
+    def test_histogram_reset(self):
+        h = Histogram("x")
+        h.observe(7.0)
+        h.reset()
+        assert h.count == 0
+        assert h.total == 0.0
+        h.observe(2.0)
+        assert h.mean == 2.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert reg.gauge("g") is reg.gauge("g")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("sims").inc(3)
+        reg.gauge("nodes").set(34)
+        reg.histogram("secs").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"sims": 3}
+        assert snap["gauges"] == {"nodes": 34.0}
+        assert snap["histograms"]["secs"]["count"] == 1
+        assert snap["histograms"]["secs"]["mean"] == 0.5
+
+    def test_reset_zeroes_in_place(self):
+        # Modules cache handles at import time; reset() must keep those
+        # handles live rather than replacing the instruments.
+        reg = MetricsRegistry()
+        handle = reg.counter("cached")
+        handle.inc(10)
+        reg.reset()
+        assert handle.value == 0
+        assert reg.counter("cached") is handle
+        handle.inc()
+        assert reg.snapshot()["counters"]["cached"] == 1
+
+    def test_rows_for_table_rendering(self):
+        reg = MetricsRegistry()
+        reg.counter("b.count").inc(2)
+        reg.histogram("a.secs").observe(1.0)
+        rows = reg.rows()
+        assert {row["metric"] for row in rows} == {"b.count", "a.secs"}
+        kinds = {row["metric"]: row["kind"] for row in rows}
+        assert kinds == {"b.count": "counter", "a.secs": "histogram"}
+
+
+class TestDefaultRegistry:
+    def test_module_helpers_hit_default_registry(self):
+        counter("unit.test").inc(2)
+        histogram("unit.secs").observe(1.5)
+        snap = snapshot()
+        assert snap["counters"]["unit.test"] == 2
+        assert snap["histograms"]["unit.secs"]["count"] == 1
+        assert get_registry().counter("unit.test").value == 2
+
+    def test_reset_helper(self):
+        handle = counter("unit.test")
+        handle.inc(5)
+        reset()
+        assert handle.value == 0
+
+
+class TestPipelineInstrumentation:
+    def test_cascade_simulations_counted(self, karate):
+        from repro.cascade.ic import IndependentCascade
+        from repro.cascade.simulate import estimate_competitive_spread
+
+        estimate_competitive_spread(
+            karate, IndependentCascade(0.2), [[0], [33]], rounds=7, rng=0
+        )
+        snap = snapshot()
+        assert snap["counters"]["cascade.simulations"] == 7
+        assert snap["counters"]["estimate.competitive_calls"] == 1
+        assert snap["histograms"]["cascade.group1.spread"]["count"] == 7
+        assert snap["histograms"]["cascade.group2.spread"]["count"] == 7
+
+    def test_seed_collisions_counted(self, karate):
+        from repro.cascade.ic import IndependentCascade
+        from repro.cascade.simulate import estimate_competitive_spread
+
+        # Identical seed sets: every seed is contested in every simulation.
+        estimate_competitive_spread(
+            karate, IndependentCascade(0.2), [[0, 1], [0, 1]], rounds=3, rng=0
+        )
+        assert snapshot()["counters"]["cascade.seed_collisions"] == 6
+
+    def test_algorithm_selection_timed(self, karate):
+        from repro.algorithms.heuristics import HighDegree
+
+        HighDegree().select(karate, 3)
+        snap = snapshot()
+        assert snap["counters"]["algorithms.selections"] == 1
+        assert snap["histograms"]["algorithms.degree.select_seconds"]["count"] == 1
+
+    def test_payoff_table_profiles_counted(self, karate):
+        from repro.algorithms.heuristics import HighDegree, RandomSeeds
+        from repro.cascade.ic import IndependentCascade
+        from repro.core.payoff import estimate_payoff_table
+        from repro.core.strategy import StrategySpace
+
+        space = StrategySpace([HighDegree(), RandomSeeds()])
+        estimate_payoff_table(
+            karate,
+            IndependentCascade(0.1),
+            space,
+            num_groups=2,
+            k=2,
+            rounds=2,
+            rng=0,
+        )
+        snap = snapshot()
+        assert snap["counters"]["payoff.tables_estimated"] == 1
+        # Full enumeration: z^r = 2 strategies ^ 2 groups = 4 profiles.
+        assert snap["counters"]["payoff.profiles_estimated"] == 4
+        assert snap["histograms"]["payoff.profile_seconds"]["count"] == 4
