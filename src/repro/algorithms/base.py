@@ -19,18 +19,33 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.errors import SeedSelectionError
 from repro.graphs.digraph import DiGraph
 from repro.obs.log import get_logger
-from repro.obs.metrics import counter, histogram
+from repro.obs.metrics import Histogram, counter, histogram
 from repro.utils.rng import RandomSource
 from repro.utils.validation import check_positive_int
 
 _LOG = get_logger("algorithms")
 
 _SELECTIONS = counter("algorithms.selections")
+
+# Per-algorithm wall-time histograms have dynamic names; memoize the handles
+# so a selection inside the payoff loop never re-formats the metric name or
+# re-enters the registry (same discipline reprolint RP004 enforces for the
+# cascade hot paths).
+_SELECT_SECONDS: dict[str, Histogram] = {}
+
+
+def _select_seconds_histogram(name: str) -> Histogram:
+    try:
+        return _SELECT_SECONDS[name]
+    except KeyError:
+        handle = histogram(f"algorithms.{name}.select_seconds")
+        _SELECT_SECONDS[name] = handle
+        return handle
 
 
 class SeedSelector(ABC):
@@ -51,7 +66,7 @@ class SeedSelector(ABC):
         seeds = self._select(graph, k, rng)
         elapsed = time.perf_counter() - started
         _SELECTIONS.inc()
-        histogram(f"algorithms.{self.name}.select_seconds").observe(elapsed)
+        _select_seconds_histogram(self.name).observe(elapsed)
         _LOG.debug(
             "%s selected %d seeds on %d nodes in %.3fs",
             self.name,

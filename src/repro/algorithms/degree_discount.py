@@ -26,7 +26,7 @@ class DegreeDiscount(SeedSelector):
 
     name = "ddic"
 
-    def __init__(self, probability: float = 0.01):
+    def __init__(self, probability: float = 0.01) -> None:
         self.probability = check_probability(probability, "probability")
 
     def _select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:

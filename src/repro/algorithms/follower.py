@@ -23,7 +23,7 @@ submodularity in their models) makes lazy evaluation safe up to MC noise.
 from __future__ import annotations
 
 import heapq
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -66,7 +66,7 @@ class FollowerBestResponse(SeedSelector):
         candidate_pool: int = 100,
         tie_break: TieBreakRule = TieBreakRule.UNIFORM,
         claim_rule: ClaimRule = ClaimRule.PROPORTIONAL,
-    ):
+    ) -> None:
         self.model = model
         self.rival_seeds = [int(s) for s in rival_seeds]
         if not self.rival_seeds:

@@ -33,7 +33,7 @@ from repro.utils.validation import check_positive_int
 class _SnapshotGreedyBase(SeedSelector):
     """Shared CELF machinery over a live-edge snapshot oracle."""
 
-    def __init__(self, model: CascadeModel, num_snapshots: int = 100):
+    def __init__(self, model: CascadeModel, num_snapshots: int = 100) -> None:
         self.model = model
         self.num_snapshots = check_positive_int(num_snapshots, "num_snapshots")
 
@@ -79,7 +79,7 @@ class MixGreedy(_SnapshotGreedyBase):
     :class:`~repro.cascade.wc.WeightedCascade`.
     """
 
-    def __init__(self, model: CascadeModel, num_snapshots: int = 100):
+    def __init__(self, model: CascadeModel, num_snapshots: int = 100) -> None:
         super().__init__(model, num_snapshots)
         self.name = f"mg{model.name}"
 
@@ -97,7 +97,7 @@ class MixGreedy(_SnapshotGreedyBase):
 class CELFGreedy(_SnapshotGreedyBase):
     """Classical CELF lazy greedy against the same snapshot oracle."""
 
-    def __init__(self, model: CascadeModel, num_snapshots: int = 100):
+    def __init__(self, model: CascadeModel, num_snapshots: int = 100) -> None:
         super().__init__(model, num_snapshots)
         self.name = f"celf{model.name}"
 

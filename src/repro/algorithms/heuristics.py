@@ -59,7 +59,7 @@ class PageRankSeeds(SeedSelector):
         max_iterations: int = 100,
         tolerance: float = 1e-10,
         reverse: bool = True,
-    ):
+    ) -> None:
         self.damping = check_fraction(damping, "damping")
         self.max_iterations = check_positive_int(max_iterations, "max_iterations")
         self.tolerance = float(tolerance)

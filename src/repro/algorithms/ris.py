@@ -38,7 +38,7 @@ class RISGreedy(SeedSelector):
         treats the algorithm as a black-box strategy).
     """
 
-    def __init__(self, model: CascadeModel, num_samples: int = 2_000):
+    def __init__(self, model: CascadeModel, num_samples: int = 2_000) -> None:
         self.model = model
         self.num_samples = check_positive_int(num_samples, "num_samples")
         self.name = f"ris{model.name}"

@@ -25,7 +25,7 @@ model; this library also ships Linear Threshold (LT).  All three are
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

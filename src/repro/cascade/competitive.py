@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -38,16 +38,31 @@ from repro.cascade.base import CascadeModel
 from repro.cascade.lt import LinearThreshold
 from repro.errors import CascadeError
 from repro.graphs.digraph import DiGraph
-from repro.obs.metrics import counter, histogram
+from repro.lint import contracts
+from repro.obs.metrics import Histogram, counter, histogram
 from repro.utils.rng import RandomSource, as_rng
 
 # Cached instrument handles: incremented once per simulation (or round), so
-# the per-simulation overhead is a handful of attribute updates.
+# the per-simulation overhead is a handful of attribute updates (RP004).
 _SIMULATIONS = counter("cascade.simulations")
 _ROUNDS = counter("cascade.rounds")
 _NODES_ACTIVATED = counter("cascade.nodes_activated")
 _SEED_COLLISIONS = counter("cascade.seed_collisions")
 _FRONTIER_SIZE = histogram("cascade.frontier_size")
+
+# Per-group spread histograms have dynamic names ("cascade.group1.spread"…),
+# so they are memoized here instead of re-resolved — and re-formatted — on
+# every simulation.  Handles survive metrics.reset(), so the cache is safe.
+_GROUP_SPREADS: dict[int, Histogram] = {}
+
+
+def _group_spread_histogram(group: int) -> Histogram:
+    try:
+        return _GROUP_SPREADS[group]
+    except KeyError:
+        handle = histogram(f"cascade.group{group + 1}.spread")  # reprolint: disable=RP004
+        _GROUP_SPREADS[group] = handle
+        return handle
 
 
 class TieBreakRule(enum.Enum):
@@ -208,7 +223,7 @@ class CompetitiveDiffusion:
         model: CascadeModel,
         tie_break: TieBreakRule = TieBreakRule.UNIFORM,
         claim_rule: ClaimRule = ClaimRule.PROPORTIONAL,
-    ):
+    ) -> None:
         self.graph = graph
         self.model = model
         self.tie_break = tie_break
@@ -229,6 +244,9 @@ class CompetitiveDiffusion:
         if not seed_sets:
             raise CascadeError("at least one seed set is required")
         generator = as_rng(rng)
+        contracts_on = contracts.enabled()
+        if contracts_on and not isinstance(self.model, LinearThreshold):
+            contracts.check_probabilities(self._probs(), "edge probabilities")
         initiators = assign_initiators(
             self.graph.num_nodes, seed_sets, self.tie_break, generator
         )
@@ -243,11 +261,14 @@ class CompetitiveDiffusion:
             activation_round=when,
         )
         spreads = outcome.spreads()
+        if contracts_on:
+            contracts.check_ownership(owner, initiators, len(seed_sets))
+            contracts.check_spreads(spreads, self.graph.num_nodes)
         _SIMULATIONS.inc()
         _ROUNDS.inc(rounds)
         _NODES_ACTIVATED.inc(int(spreads.sum()))
         for j in range(outcome.num_groups):
-            histogram(f"cascade.group{j + 1}.spread").observe(float(spreads[j]))
+            _group_spread_histogram(j).observe(float(spreads[j]))
         return outcome
 
     # ------------------------------------------------------------------ #

@@ -17,7 +17,7 @@ that case rather than silently producing a biased oracle.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -79,7 +79,7 @@ class GeneralThreshold(CascadeModel):
         self,
         activation: ActivationFunction = linear_activation,
         triggering: bool = True,
-    ):
+    ) -> None:
         self.activation = activation
         self.triggering = bool(triggering)
 

@@ -20,7 +20,7 @@ class IndependentCascade(CascadeModel):
 
     name = "ic"
 
-    def __init__(self, probability: float = 0.01):
+    def __init__(self, probability: float = 0.01) -> None:
         self.probability = check_probability(probability, "probability")
 
     def edge_probabilities(self, graph: DiGraph) -> np.ndarray:

@@ -18,7 +18,7 @@ selectors (DegreeDiscount and friends) or plain Monte-Carlo greedy.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -39,7 +39,7 @@ class NegativeAwareCascade(CascadeModel):
 
     name = "icn"
 
-    def __init__(self, probability: float = 0.01, quality: float = 0.9):
+    def __init__(self, probability: float = 0.01, quality: float = 0.9) -> None:
         self.probability = check_probability(probability, "probability")
         self.quality = check_probability(quality, "quality")
 

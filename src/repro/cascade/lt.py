@@ -12,7 +12,7 @@ so LT plugs into the same snapshot machinery (MixGreedy) as IC/WC.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

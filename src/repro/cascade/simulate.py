@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -21,6 +21,7 @@ from repro.cascade.base import CascadeModel
 from repro.cascade.competitive import ClaimRule, CompetitiveDiffusion, TieBreakRule
 from repro.errors import CascadeError
 from repro.graphs.digraph import DiGraph
+from repro.lint import contracts
 from repro.obs.log import get_logger
 from repro.obs.metrics import counter, histogram
 from repro.utils.rng import RandomSource, as_rng
@@ -95,7 +96,10 @@ def estimate_spread(
     _SPREAD_CALLS.inc()
     _SINGLE_SIMULATIONS.inc(rounds)
     _SPREAD_SECONDS.observe(time.perf_counter() - started)
-    return SpreadEstimate.from_values(values)
+    estimate = SpreadEstimate.from_values(values)
+    if contracts.enabled():
+        contracts.check_spread_estimate(estimate.mean, graph.num_nodes)
+    return estimate
 
 
 def estimate_competitive_spread(
@@ -132,4 +136,10 @@ def estimate_competitive_spread(
         rounds,
         elapsed,
     )
-    return [SpreadEstimate.from_values(vals) for vals in per_group]
+    estimates = [SpreadEstimate.from_values(vals) for vals in per_group]
+    if contracts.enabled():
+        # Per-profile invariant: the group means partition at most |V| nodes.
+        contracts.check_spreads(
+            [est.mean for est in estimates], graph.num_nodes, "mean spreads"
+        )
+    return estimates

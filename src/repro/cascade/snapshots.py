@@ -11,7 +11,7 @@ noise between candidates.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -44,7 +44,7 @@ class SnapshotOracle:
     everything reachable from a reached node is itself already reached).
     """
 
-    def __init__(self, graph: DiGraph, masks: Sequence[np.ndarray]):
+    def __init__(self, graph: DiGraph, masks: Sequence[np.ndarray]) -> None:
         if not masks:
             raise CascadeError("at least one snapshot mask is required")
         for mask in masks:

@@ -46,6 +46,8 @@ from repro.graphs.datasets import DATASETS, get_dataset
 from repro.graphs.digraph import DiGraph
 from repro.graphs.loaders import load_edge_list
 from repro.graphs.stats import summarize
+from repro.lint.cli import add_lint_arguments
+from repro.lint.cli import run as lint_run
 from repro.obs import (
     RunJournal,
     attach_journal,
@@ -86,10 +88,10 @@ def _algorithm(name: str, probability: float):
         kwargs["probability"] = probability
     try:
         return get_algorithm(name, **kwargs)
-    except Exception:
+    except Exception as exc:
         raise SystemExit(
             f"unknown algorithm {name!r}; registered: {registered_algorithms()}"
-        )
+        ) from exc
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -183,24 +185,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     journal.add_argument("file", help="path to a .jsonl run journal")
 
+    lint = sub.add_parser(
+        "lint", help="run the reprolint static-analysis rules (RP001-RP005)"
+    )
+    add_lint_arguments(lint)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
+    if args.command == "lint":
+        return lint_run(args)
+
     if args.command == "journal":
         try:
             events = read_journal(args.file)
         except JournalError as exc:
-            raise SystemExit(str(exc))
+            raise SystemExit(str(exc)) from exc
         print(render_journal_report(events))
         return 0
 
     try:
         configure_logging(args.log_level, json=args.log_json)
     except ValueError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from exc
     journal = RunJournal(args.journal) if args.journal else None
     if journal is None:
         return _run_command(args)

@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.getreal import GetRealResult
 from repro.errors import GameError
 from repro.game.normal_form import NormalFormGame
+from repro.utils.validation import nearly_zero
 
 
 def profile_welfare(game: NormalFormGame, profile: tuple[int, ...]) -> float:
@@ -53,7 +54,7 @@ def symmetric_mixture_welfare(game: NormalFormGame, mixture: np.ndarray) -> floa
         weight = 1.0
         for a in profile:
             weight *= mixture[a]
-        if weight == 0.0:
+        if nearly_zero(weight):
             continue
         total += weight * profile_welfare(game, profile)
     return total

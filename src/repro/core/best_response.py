@@ -19,7 +19,7 @@ bench compares the dynamics' outcome with the GetReal equilibrium.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.algorithms.follower import FollowerBestResponse
 from repro.cascade.base import CascadeModel

@@ -23,7 +23,7 @@ from repro.game.normal_form import NormalFormGame
 from repro.game.pure import pure_nash_equilibria
 from repro.graphs.digraph import DiGraph
 from repro.utils.rng import RandomSource, as_rng
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_positive_int, nearly_zero
 
 
 @dataclass(frozen=True)
@@ -117,7 +117,7 @@ def collusion_analysis(
     total = 0.0
     for profile in product(range(z), repeat=3):
         weight = diag[profile[0]] * diag[profile[1]] * diag[profile[2]]
-        if weight == 0.0:
+        if nearly_zero(weight):
             continue
         payoffs = independent.game.payoff_vector(profile)
         total += weight * (payoffs[0] + payoffs[1])

@@ -16,7 +16,7 @@ Figures 3 and 4 — by Monte-Carlo simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.algorithms.base import SeedSelector
 from repro.cascade.base import CascadeModel

@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from itertools import product
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
 
 from repro.algorithms.base import SeedSelector, get_algorithm
 from repro.cascade.simulate import SpreadEstimate
@@ -20,7 +19,7 @@ from repro.core.payoff import PayoffTable
 from repro.core.strategy import StrategySpace
 from repro.errors import ReproError
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 
 def payoff_table_to_dict(table: PayoffTable) -> dict:

@@ -9,7 +9,7 @@ space with the given probabilities each time seeds are chosen.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -26,7 +26,7 @@ class StrategySpace:
 
     selectors: tuple[SeedSelector, ...]
 
-    def __init__(self, selectors: Sequence[SeedSelector]):
+    def __init__(self, selectors: Sequence[SeedSelector]) -> None:
         if not selectors:
             raise SeedSelectionError("strategy space must not be empty")
         names = [s.name for s in selectors]
@@ -71,7 +71,7 @@ class MixedStrategy:
     space: StrategySpace
     probabilities: np.ndarray = field(repr=False)
 
-    def __init__(self, space: StrategySpace, probabilities: Sequence[float]):
+    def __init__(self, space: StrategySpace, probabilities: Sequence[float]) -> None:
         probs = check_distribution(probabilities, "probabilities")
         if probs.shape[0] != space.size:
             raise SeedSelectionError(

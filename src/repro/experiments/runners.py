@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import functools
 from itertools import product
-from typing import Callable, TypeVar
+from collections.abc import Callable
+from typing import TypeVar
 
 import numpy as np
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Callable, Sequence, Union
+from collections.abc import Callable, Sequence
 
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
@@ -30,7 +30,7 @@ from repro.experiments.runners import (
 from repro.utils.tables import format_table, write_csv
 from repro.utils.timing import Stopwatch
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 RunnerFn = Callable[[ExperimentConfig], list[dict[str, object]]]
 

@@ -21,6 +21,7 @@ from scipy import optimize
 
 from repro.errors import EquilibriumError, GameError
 from repro.game.normal_form import NormalFormGame
+from repro.utils.validation import nearly_zero
 
 
 def expected_payoff_against_symmetric(
@@ -46,7 +47,7 @@ def expected_payoff_against_symmetric(
         weight = 1.0
         for a in others:
             weight *= mixture[a]
-        if weight == 0.0:
+        if nearly_zero(weight):
             continue
         total += weight * game.payoff((action, *others), 0)
     return total

@@ -9,7 +9,7 @@ the player whose payoff is read.  The paper's Table 2 is the special case
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -33,7 +33,7 @@ class NormalFormGame:
         self,
         payoffs: np.ndarray,
         action_labels: Sequence[str] | None = None,
-    ):
+    ) -> None:
         payoffs = np.asarray(payoffs, dtype=float)
         if payoffs.ndim < 2:
             raise GameError(

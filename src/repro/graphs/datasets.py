@@ -15,7 +15,7 @@ paper-scale graphs are available with ``scale=1.0``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.errors import GraphError
 from repro.graphs.digraph import DiGraph

@@ -14,7 +14,7 @@ copies.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -44,7 +44,7 @@ class DiGraph:
         "_edge_ids",
     )
 
-    def __init__(self, num_nodes: int, edges: Iterable[tuple[int, int]]):
+    def __init__(self, num_nodes: int, edges: Iterable[tuple[int, int]]) -> None:
         if num_nodes < 0:
             raise GraphError(f"num_nodes must be non-negative, got {num_nodes}")
         self._n = int(num_nodes)

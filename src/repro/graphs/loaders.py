@@ -11,14 +11,13 @@ from __future__ import annotations
 
 import gzip
 from pathlib import Path
-from typing import Union
 
 import numpy as np
 
 from repro.errors import GraphFormatError
 from repro.graphs.digraph import DiGraph
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 
 def _open_text(path: Path, mode: str):

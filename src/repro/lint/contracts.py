@@ -1,0 +1,111 @@
+"""Opt-in runtime contracts for the simulation stack.
+
+Static rules catch what is visible in the source; these contracts catch what
+only manifests at runtime — a cascade model whose edge probabilities drift
+outside ``[0, 1]``, an ownership array that re-assigns a claimed node, a
+spread exceeding ``|V|``.  Any violation means the payoff tensor (and hence
+the equilibrium) is garbage, so contract failures raise immediately.
+
+Contracts are **off by default** (zero overhead beyond one dict lookup per
+simulation) and enabled by setting ``REPRO_CONTRACTS=1`` in the
+environment — CI runs one tier-1 pass with them on.  Checks are vectorized
+and run once per simulation, not per node, so the enabled-mode overhead is
+a few array comparisons per diffusion.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+
+import numpy as np
+
+#: Environment variable gating the contracts; truthy values: 1/true/on/yes.
+ENV_VAR = "REPRO_CONTRACTS"
+
+_FALSY = frozenset({"", "0", "false", "off", "no"})
+
+
+class ContractViolation(AssertionError):
+    """A runtime invariant of the simulation stack was violated.
+
+    Derives from :class:`AssertionError` because a violation is a logic
+    error in the library (or a hostile model implementation), never a
+    recoverable domain condition.
+    """
+
+
+def enabled() -> bool:
+    """Whether runtime contracts are active (``REPRO_CONTRACTS`` truthy)."""
+    return os.environ.get(ENV_VAR, "").strip().lower() not in _FALSY
+
+
+def check_probabilities(values: object, name: str = "probabilities") -> None:
+    """Every entry of *values* must be a finite probability in ``[0, 1]``."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return
+    if not np.all(np.isfinite(arr)):
+        raise ContractViolation(f"{name} contain non-finite values")
+    low = float(arr.min())
+    high = float(arr.max())
+    if low < 0.0 or high > 1.0:
+        raise ContractViolation(
+            f"{name} outside [0, 1]: min={low!r}, max={high!r}"
+        )
+
+
+def check_ownership(
+    owner: np.ndarray,
+    initiators: Sequence[Sequence[int]],
+    num_groups: int,
+) -> None:
+    """Post-diffusion ownership invariants.
+
+    * every owner value is ``-1`` (inactive) or a valid group index;
+    * claimed nodes never switch groups — in particular every initiator of
+      group *j* still belongs to *j* when the diffusion ends (initiators are
+      the only nodes claimed before round 1, so this pins the paper's
+      "once claimed, never re-claimed" assumption at both ends of the run).
+    """
+    owner = np.asarray(owner)
+    if owner.size and (owner.min() < -1 or owner.max() >= num_groups):
+        raise ContractViolation(
+            f"owner array contains group ids outside [-1, {num_groups}): "
+            f"min={int(owner.min())}, max={int(owner.max())}"
+        )
+    for group, nodes in enumerate(initiators):
+        nodes = np.asarray(list(nodes), dtype=np.int64)
+        if nodes.size == 0:
+            continue
+        switched = nodes[owner[nodes] != group]
+        if switched.size:
+            raise ContractViolation(
+                f"claimed nodes switched groups: initiators {switched.tolist()} "
+                f"of group {group} ended owned by "
+                f"{owner[switched].tolist()}"
+            )
+
+
+def check_spreads(spreads: object, num_nodes: int, name: str = "spreads") -> None:
+    """Per-group spreads must be non-negative and sum to at most ``|V|``."""
+    arr = np.asarray(spreads, dtype=float)
+    if arr.size == 0:
+        return
+    if float(arr.min()) < 0.0:
+        raise ContractViolation(f"{name} contain negative entries: {arr.tolist()}")
+    total = float(arr.sum())
+    if total > num_nodes:
+        raise ContractViolation(
+            f"{name} sum to {total}, exceeding the graph's {num_nodes} nodes"
+        )
+
+
+def check_spread_estimate(mean: float, num_nodes: int, name: str = "spread") -> None:
+    """A Monte-Carlo spread estimate must land in ``[0, |V|]``."""
+    if not np.isfinite(mean):
+        raise ContractViolation(f"{name} estimate is non-finite: {mean!r}")
+    if mean < 0.0 or mean > num_nodes:
+        raise ContractViolation(
+            f"{name} estimate {mean} outside [0, {num_nodes}]"
+        )

@@ -42,7 +42,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from threading import Lock
-from typing import IO, Any, Iterator, Mapping, Sequence, Union
+from collections.abc import Iterator, Mapping, Sequence
+from typing import IO, Any
 
 from repro.errors import JournalError
 from repro.utils.tables import format_table
@@ -76,7 +77,7 @@ class RunJournal:
     ('note', 'hello')
     """
 
-    def __init__(self, path: Union[str, Path], run_id: str | None = None):
+    def __init__(self, path: str | Path, run_id: str | None = None) -> None:
         self.path = Path(path)
         self.run_id = run_id or _generate_run_id()
         self._handle: IO[str] | None = None
@@ -229,7 +230,7 @@ def attached(journal: RunJournal) -> Iterator[RunJournal]:
 # ---------------------------------------------------------------------- #
 
 
-def read_journal(path: Union[str, Path]) -> list[dict[str, Any]]:
+def read_journal(path: str | Path) -> list[dict[str, Any]]:
     """Parse a JSONL journal file into a list of event dicts."""
     path = Path(path)
     if not path.exists():

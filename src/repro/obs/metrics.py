@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import Iterator
+from collections.abc import Iterator
 
 
 class Counter:

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Any, Iterator
+from collections.abc import Iterator
+from typing import Any
 
 from repro.obs import metrics as _metrics
 from repro.obs.journal import current_journal

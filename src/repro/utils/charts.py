@@ -8,7 +8,7 @@ without any plotting dependency.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 _MARKERS = "*o+x#@%&"
 

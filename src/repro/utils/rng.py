@@ -11,11 +11,10 @@ deterministically derives every stream below it via :func:`spawn_rngs`.
 
 from __future__ import annotations
 
-from typing import Optional, Union
 
 import numpy as np
 
-RandomSource = Union[None, int, np.random.Generator]
+RandomSource = int | np.random.Generator | None
 """Anything convertible to a :class:`numpy.random.Generator`."""
 
 
@@ -52,7 +51,7 @@ def spawn_rngs(rng: RandomSource, count: int) -> list[np.random.Generator]:
     return list(parent.spawn(count))
 
 
-def derive_seed(rng: RandomSource, salt: Optional[int] = None) -> int:
+def derive_seed(rng: RandomSource, salt: int | None = None) -> int:
     """Draw a fresh 63-bit integer seed from *rng*, optionally XOR-ed with *salt*.
 
     Useful when an API (e.g. ``networkx`` generators) wants an integer seed

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Mapping, Sequence, Union
+from collections.abc import Mapping, Sequence
 
 
 def _fmt(value: object, precision: int) -> str:
@@ -61,7 +61,7 @@ def format_table(
 
 def write_csv(
     rows: Sequence[Mapping[str, object]],
-    path: Union[str, Path],
+    path: str | Path,
     columns: Sequence[str] | None = None,
 ) -> None:
     """Write row dicts as CSV (header + one line per row).

@@ -7,7 +7,7 @@ failure.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -44,6 +44,29 @@ def check_fraction(value: float, name: str) -> float:
     if not 0.0 < value <= 1.0:
         raise ValueError(f"{name} must be in (0, 1], got {value}")
     return value
+
+
+def nearly_zero(value: float, atol: float = 1e-12) -> bool:
+    """True when *value* is within *atol* of zero.
+
+    The sanctioned replacement for ``x == 0.0`` on floats (reprolint RP002):
+    payoffs and mixture weights are Monte-Carlo estimates and products of
+    probabilities, so exact equality encodes rounding behaviour, not model
+    behaviour.  The default tolerance is far below any meaningful payoff
+    difference yet absorbs representation noise.
+    """
+    return abs(float(value)) <= atol
+
+
+def values_close(a: float, b: float, atol: float = 1e-9, rtol: float = 1e-9) -> bool:
+    """True when *a* and *b* agree within absolute or relative tolerance.
+
+    The sanctioned replacement for ``a == b`` on floats (reprolint RP002).
+    Symmetric: ``|a - b| <= atol + rtol * max(|a|, |b|)``.
+    """
+    a = float(a)
+    b = float(b)
+    return abs(a - b) <= atol + rtol * max(abs(a), abs(b))
 
 
 def check_distribution(weights: Sequence[float], name: str, atol: float = 1e-8) -> np.ndarray:
