@@ -1,0 +1,94 @@
+"""Execution-engine scaling on the Table-4 payoff workload.
+
+Times ``estimate_payoff_table`` (the r=z=2 profile fan-out that feeds
+Table 4) under every backend at workers ∈ {1, 2, 4}.  Two properties are
+asserted:
+
+* **determinism** — every backend/worker combination produces the exact
+  same payoff means and stds for the fixed master seed (the SeedSequence
+  spawn scheme; see ``docs/execution.md``);
+* **scaling** — with ≥2 physical cores, the process backend at 4 workers
+  beats serial wall-clock.  On single-core machines the speedup assert is
+  skipped (process workers only add fork+pickle overhead there) but the
+  timings are still reported.
+
+Cheap deterministic selectors (DegreeDiscount + SingleDiscount) keep the
+timed section dominated by the simulation batch rather than seed
+selection, which is what the executor parallelises.
+"""
+
+import os
+
+from repro.algorithms import DegreeDiscount, SingleDiscount
+from repro.core.payoff import estimate_payoff_table
+from repro.core.strategy import StrategySpace
+from repro.exec import Executor
+from repro.utils.timing import Stopwatch
+
+_GRID = [("serial", 1), ("thread", 1), ("thread", 2), ("thread", 4),
+         ("process", 1), ("process", 2), ("process", 4)]
+
+
+def _payoff_table(config, executor):
+    space = StrategySpace(
+        [DegreeDiscount(config.ic_probability), SingleDiscount()]
+    )
+    return estimate_payoff_table(
+        config.load("hep"),
+        config.model("ic"),
+        space,
+        num_groups=2,
+        k=min(20, max(config.ks)),
+        rounds=max(24, config.rounds),
+        seed_draws=3,
+        rng=config.seed,
+        executor=executor,
+    )
+
+
+def _flatten(table):
+    return {
+        profile: [(e.mean, e.std, e.samples) for e in ests]
+        for profile, ests in table.estimates.items()
+    }
+
+
+def test_exec_scaling(config, report):
+    config.load("hep")  # warm the graph cache outside the timed section
+    rows = []
+    results = {}
+    for backend, workers in _GRID:
+        watch = Stopwatch()
+        with Executor(backend, workers=workers) as executor:
+            with watch:
+                table = _payoff_table(config, executor)
+        results[(backend, workers)] = _flatten(table)
+        rows.append(
+            {
+                "backend": backend,
+                "workers": workers,
+                "seconds": round(watch.elapsed, 3),
+            }
+        )
+    report(
+        "Exec scaling - payoff batch wall-clock",
+        rows,
+        note="Table-4 payoff workload (r=z=2); identical results asserted",
+        chart=("workers", "seconds", "backend"),
+    )
+
+    baseline = results[("serial", 1)]
+    assert all(flat == baseline for flat in results.values()), (
+        "payoff tables differ across backends/worker counts"
+    )
+
+    serial = next(r["seconds"] for r in rows if r["backend"] == "serial")
+    process4 = next(
+        r["seconds"]
+        for r in rows
+        if r["backend"] == "process" and r["workers"] == 4
+    )
+    if (os.cpu_count() or 1) >= 2:
+        assert process4 < serial, (
+            f"process@4 ({process4}s) should beat serial ({serial}s)"
+        )

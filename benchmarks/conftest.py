@@ -18,11 +18,13 @@ terminal summary after every run.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
+from repro.exec.executor import BACKEND_ENV_VAR, WORKERS_ENV_VAR
 from repro.experiments.config import ExperimentConfig
 from repro.obs import (
     RunJournal,
@@ -87,6 +89,16 @@ def report():
         (_RESULTS_DIR / f"{safe}.txt").write_text(text + "\n")
         if rows:
             write_csv(rows, _RESULTS_DIR / f"{safe}.csv")
+        payload = {
+            "name": name,
+            "backend": os.environ.get(BACKEND_ENV_VAR, "").strip() or "serial",
+            "workers": int(os.environ.get(WORKERS_ENV_VAR) or 0) or None,
+            "note": note,
+            "rows": rows,
+        }
+        (_RESULTS_DIR / f"{safe}.json").write_text(
+            json.dumps(payload, indent=2, default=str) + "\n"
+        )
 
     return emit
 

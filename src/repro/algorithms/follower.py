@@ -18,6 +18,13 @@ The greedy step uses lazy (CELF-style) evaluation of competitive marginal
 gains, each estimated by Monte-Carlo runs of the shared competitive
 engine; monotonicity of the follower objective (Carnes et al. prove
 submodularity in their models) makes lazy evaluation safe up to MC noise.
+
+Candidate evaluations are expressed as
+:class:`~repro.exec.jobs.CompetitiveJob` objects carrying the common
+random-number base, so the initial sweep over the whole candidate pool —
+the dominant cost — fans out through the execution engine as one batch,
+while the inherently sequential CELF re-evaluations run the same jobs
+in-process.
 """
 
 from __future__ import annotations
@@ -29,11 +36,16 @@ import numpy as np
 
 from repro.algorithms.base import SeedSelector
 from repro.cascade.base import CascadeModel
-from repro.cascade.competitive import ClaimRule, CompetitiveDiffusion, TieBreakRule
+from repro.cascade.competitive import ClaimRule, TieBreakRule
 from repro.errors import SeedSelectionError
+from repro.exec.executor import Executor, resolve_executor
+from repro.exec.jobs import CompetitiveJob
 from repro.graphs.digraph import DiGraph
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.validation import check_positive_int
+
+#: Stride between the paired random streams of successive follower rounds.
+FOLLOWER_CRN_STEP = 7919
 
 
 class FollowerBestResponse(SeedSelector):
@@ -54,6 +66,9 @@ class FollowerBestResponse(SeedSelector):
         Exhaustive evaluation is O(n · k · rounds) competitive simulations;
         the pool keeps the baseline tractable without changing outcomes on
         heavy-tailed graphs, where high-degree nodes dominate the answer.
+    executor:
+        Execution engine for the batched candidate sweep (defaults to the
+        env-configured process-wide executor).
     """
 
     name = "follower"
@@ -66,6 +81,7 @@ class FollowerBestResponse(SeedSelector):
         candidate_pool: int = 100,
         tie_break: TieBreakRule = TieBreakRule.UNIFORM,
         claim_rule: ClaimRule = ClaimRule.PROPORTIONAL,
+        executor: Executor | None = None,
     ) -> None:
         self.model = model
         self.rival_seeds = [int(s) for s in rival_seeds]
@@ -75,14 +91,12 @@ class FollowerBestResponse(SeedSelector):
         self.candidate_pool = check_positive_int(candidate_pool, "candidate_pool")
         self.tie_break = tie_break
         self.claim_rule = claim_rule
+        self.executor = executor
 
-    def _follower_spread(
-        self,
-        engine: CompetitiveDiffusion,
-        seeds: list[int],
-        crn_base: int,
-    ) -> float:
-        """Follower's average spread under common random numbers.
+    def _spread_job(
+        self, graph: DiGraph, seeds: Sequence[int], crn_base: int
+    ) -> CompetitiveJob:
+        """The follower-vs-rival evaluation of *seeds* as a CRN-paired job.
 
         Every candidate evaluation within one ``select`` call replays the
         same *rounds* random streams (seeded from ``crn_base``), so
@@ -91,12 +105,23 @@ class FollowerBestResponse(SeedSelector):
         this, greedy comparisons at feasible round counts are dominated by
         Monte-Carlo noise.
         """
-        total = 0
-        for i in range(self.rounds):
-            stream = as_rng((crn_base + 7919 * i) % (2**63 - 1))
-            outcome = engine.run([self.rival_seeds, seeds], stream)
-            total += outcome.spread(1)
-        return total / self.rounds
+        return CompetitiveJob(
+            graph=graph,
+            model=self.model,
+            seed_sets=(tuple(self.rival_seeds), tuple(int(s) for s in seeds)),
+            rounds=self.rounds,
+            tie_break=self.tie_break,
+            claim_rule=self.claim_rule,
+            crn_base=crn_base,
+            crn_step=FOLLOWER_CRN_STEP,
+        )
+
+    def _follower_spread(
+        self, graph: DiGraph, seeds: list[int], crn_base: int
+    ) -> float:
+        """In-process evaluation for the sequential CELF refinements."""
+        job = self._spread_job(graph, seeds, crn_base)
+        return job.run(as_rng(crn_base))[1].mean
 
     def _select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
         k = self._check_budget(graph, k)
@@ -106,9 +131,6 @@ class FollowerBestResponse(SeedSelector):
                     f"rival seed {s} out of range [0, {graph.num_nodes})"
                 )
         generator = as_rng(rng)
-        engine = CompetitiveDiffusion(
-            graph, self.model, self.tie_break, self.claim_rule
-        )
         crn_base = int(generator.integers(0, 2**62))
 
         degrees = graph.out_degrees().astype(float)
@@ -120,13 +142,20 @@ class FollowerBestResponse(SeedSelector):
                 f"candidate_pool={pool_size} smaller than budget k={k}"
             )
 
+        # Batched initial sweep: one CRN-paired job per singleton candidate.
+        # The jobs ignore their spawned generators (CRN pins every stream),
+        # so the batch is deterministic on any backend.
+        jobs = [
+            self._spread_job(graph, [int(v)], crn_base) for v in candidates
+        ]
+        results = resolve_executor(self.executor).estimates(jobs, rng=generator)
+
         # CELF heap over competitive marginal gains (paired by CRN).
         seeds: list[int] = []
         heap: list[tuple[float, int, int]] = []
         current_value = 0.0
-        for v in candidates:
-            gain = self._follower_spread(engine, [int(v)], crn_base)
-            heapq.heappush(heap, (-gain, int(v), 0))
+        for v, estimates in zip(candidates, results):
+            heapq.heappush(heap, (-estimates[1].mean, int(v), 0))
 
         iteration = 0
         while len(seeds) < k and heap:
@@ -135,10 +164,10 @@ class FollowerBestResponse(SeedSelector):
                 continue
             if stamp == iteration:
                 seeds.append(v)
-                current_value = self._follower_spread(engine, seeds, crn_base)
+                current_value = self._follower_spread(graph, seeds, crn_base)
                 iteration += 1
             else:
-                value_with = self._follower_spread(engine, seeds + [v], crn_base)
+                value_with = self._follower_spread(graph, seeds + [v], crn_base)
                 heapq.heappush(heap, (-(value_with - current_value), v, iteration))
         if len(seeds) < k:
             raise SeedSelectionError("ran out of candidates before reaching k")

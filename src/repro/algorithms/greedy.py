@@ -10,10 +10,17 @@ the algorithm is randomized — two groups running MixGreedy independently
 get overlapping but not identical seed sets, which is exactly the behaviour
 the paper's Theorem 1 footnote relies on.
 
+The NewGreedy step dominates the cost and is embarrassingly parallel per
+snapshot, so it is fanned out through the execution engine as a batch of
+:class:`~repro.exec.jobs.SnapshotGainsJob` chunks (fixed chunk size, so the
+split — and therefore the result — never depends on the worker count).
+The CELF refinement stays in-process: its lazy re-evaluations are
+sequential by construction.
+
 ``CELFGreedy`` is the classical lazy-greedy of Leskovec et al. (KDD'07),
-implemented against the same snapshot oracle but skipping the NewGreedy
-first-round shortcut; it is provided as an extra strategy and for
-cross-checking MixGreedy (both maximize the same monotone submodular
+implemented against the same snapshot oracle but initializing from the
+same exact reach-size computation; it is provided as an extra strategy and
+for cross-checking MixGreedy (both maximize the same monotone submodular
 estimate, so their spreads agree within noise).
 """
 
@@ -23,25 +30,52 @@ import heapq
 
 from repro.algorithms.base import SeedSelector
 from repro.cascade.base import CascadeModel
-from repro.cascade.reachability import all_reach_sizes
 from repro.cascade.snapshots import SnapshotOracle, sample_snapshots
+from repro.exec.executor import Executor, resolve_executor
+from repro.exec.jobs import SnapshotGainsJob
 from repro.graphs.digraph import DiGraph
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.validation import check_positive_int
+
+#: Snapshots per gains job.  Fixed (never derived from the worker count) so
+#: chunking — and hence floating-point pooling order — is deterministic.
+_MASKS_PER_JOB = 8
 
 
 class _SnapshotGreedyBase(SeedSelector):
     """Shared CELF machinery over a live-edge snapshot oracle."""
 
-    def __init__(self, model: CascadeModel, num_snapshots: int = 100) -> None:
+    def __init__(
+        self,
+        model: CascadeModel,
+        num_snapshots: int = 100,
+        executor: Executor | None = None,
+    ) -> None:
         self.model = model
         self.num_snapshots = check_positive_int(num_snapshots, "num_snapshots")
+        self.executor = executor
 
     def _initial_gains(
         self, graph: DiGraph, oracle: SnapshotOracle
     ) -> list[float]:
-        """Spread estimate of every singleton seed; overridden by MixGreedy."""
-        raise NotImplementedError
+        """Average exact reach size of every singleton seed over the snapshots.
+
+        Fanned out as one batch of per-chunk :class:`SnapshotGainsJob`s;
+        chunk estimates are pooled per node with
+        :meth:`SpreadEstimate.__add__`.  Reach sizes are integers (sums are
+        exact in float64), so the pooled means match the serial
+        computation bit for bit at any worker count.
+        """
+        masks = oracle.masks
+        jobs = [
+            SnapshotGainsJob(graph=graph, masks=tuple(masks[i: i + _MASKS_PER_JOB]))
+            for i in range(0, len(masks), _MASKS_PER_JOB)
+        ]
+        per_chunk = resolve_executor(self.executor).estimates(jobs)
+        pooled = list(per_chunk[0])
+        for chunk in per_chunk[1:]:
+            pooled = [prev + new for prev, new in zip(pooled, chunk)]
+        return [est.mean for est in pooled]
 
     def _select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
         k = self._check_budget(graph, k)
@@ -79,30 +113,30 @@ class MixGreedy(_SnapshotGreedyBase):
     :class:`~repro.cascade.wc.WeightedCascade`.
     """
 
-    def __init__(self, model: CascadeModel, num_snapshots: int = 100) -> None:
-        super().__init__(model, num_snapshots)
+    def __init__(
+        self,
+        model: CascadeModel,
+        num_snapshots: int = 100,
+        executor: Executor | None = None,
+    ) -> None:
+        super().__init__(model, num_snapshots, executor)
         self.name = f"mg{model.name}"
-
-    def _initial_gains(self, graph: DiGraph, oracle: SnapshotOracle) -> list[float]:
-        # NewGreedy: exact per-snapshot reach size of every node via the
-        # SCC-condensation DP, averaged over snapshots.
-        totals = [0.0] * graph.num_nodes
-        for mask in oracle.masks:
-            sizes = all_reach_sizes(graph, mask)
-            for v in range(graph.num_nodes):
-                totals[v] += float(sizes[v])
-        return [t / oracle.num_snapshots for t in totals]
 
 
 class CELFGreedy(_SnapshotGreedyBase):
-    """Classical CELF lazy greedy against the same snapshot oracle."""
+    """Classical CELF lazy greedy against the same snapshot oracle.
 
-    def __init__(self, model: CascadeModel, num_snapshots: int = 100) -> None:
-        super().__init__(model, num_snapshots)
+    The first-pick gains of CELF are the singleton spreads — identical
+    integers to the NewGreedy reach sizes — so it shares the batched
+    initial-gains computation and differs from MixGreedy only in name
+    (both then run the same lazy refinement).
+    """
+
+    def __init__(
+        self,
+        model: CascadeModel,
+        num_snapshots: int = 100,
+        executor: Executor | None = None,
+    ) -> None:
+        super().__init__(model, num_snapshots, executor)
         self.name = f"celf{model.name}"
-
-    def _initial_gains(self, graph: DiGraph, oracle: SnapshotOracle) -> list[float]:
-        empty = oracle.reach([])
-        return [
-            oracle.marginal_gain(v, empty) for v in range(graph.num_nodes)
-        ]

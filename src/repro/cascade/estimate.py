@@ -1,0 +1,78 @@
+"""Monte-Carlo estimate container shared by every σ(·) producer.
+
+:class:`SpreadEstimate` is the unit of currency between the simulation
+layer and everything above it: simulation jobs (:mod:`repro.exec`) return
+tuples of estimates, the payoff table stores them, and the GetReal layer
+reads their standard errors to judge whether a pure-NE comparison is
+statistically meaningful.
+
+The class lives in its own module (rather than in
+:mod:`repro.cascade.simulate`) so the execution engine can depend on it
+without importing the estimation entry points that are themselves built on
+the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import CascadeError
+
+
+@dataclass(frozen=True)
+class SpreadEstimate:
+    """Monte-Carlo estimate of an expected influence spread."""
+
+    mean: float
+    std: float
+    samples: int
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of :attr:`mean`."""
+        if self.samples <= 1:
+            return float("inf")
+        return self.std / np.sqrt(self.samples)
+
+    @classmethod
+    def from_values(
+        cls, values: Sequence[float] | np.ndarray
+    ) -> "SpreadEstimate":
+        """Build an estimate from raw simulation values.
+
+        Accepts any sequence; a float64 :class:`numpy.ndarray` is consumed
+        as-is (``np.asarray`` on a matching-dtype array is a no-copy view),
+        so hot paths can preallocate one buffer per job and hand it over
+        without an extra copy.
+        """
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            raise CascadeError("cannot build an estimate from zero samples")
+        std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+        return cls(mean=float(arr.mean()), std=std, samples=int(arr.size))
+
+    def __add__(self, other: "SpreadEstimate") -> "SpreadEstimate":
+        """Pool two independent estimates (weighted by sample count).
+
+        Uses the same ``ddof=1`` convention as :meth:`from_values`: the
+        sums of squared deviations around the combined mean are added and
+        divided by ``n - 1``, so pooling two estimates is exactly
+        equivalent to estimating from the concatenated samples.  Pooling is
+        commutative up to floating-point rounding, which is what lets the
+        execution engine combine job results in completion order.
+        """
+        if not isinstance(other, SpreadEstimate):
+            return NotImplemented
+        n = self.samples + other.samples
+        mean = (self.mean * self.samples + other.mean * other.samples) / n
+        sum_squares = (
+            (self.samples - 1) * self.std**2
+            + self.samples * (self.mean - mean) ** 2
+            + (other.samples - 1) * other.std**2
+            + other.samples * (other.mean - mean) ** 2
+        )
+        std = float(np.sqrt(sum_squares / (n - 1))) if n > 1 else 0.0
+        return SpreadEstimate(mean=mean, std=std, samples=n)

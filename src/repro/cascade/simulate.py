@@ -7,24 +7,32 @@ competition), and :func:`estimate_competitive_spread` gives the vector
 simultaneously.  Both return a :class:`SpreadEstimate` carrying the sample
 standard error, which the GetReal layer uses to judge whether a pure-NE
 comparison is statistically meaningful.
+
+Since the execution-engine refactor both functions are thin wrappers: they
+describe the work as a single :class:`~repro.exec.jobs.SpreadJob` /
+:class:`~repro.exec.jobs.CompetitiveJob` and submit it through an
+:class:`~repro.exec.executor.Executor` (the env-configured process default
+when none is passed).  Callers that need many estimates at once — the
+payoff table, the figure sweeps, greedy candidate scoring — should build
+the jobs themselves and submit them as **one batch** so the backend can
+run them concurrently; see ``docs/execution.md``.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 from collections.abc import Sequence
 
-import numpy as np
-
 from repro.cascade.base import CascadeModel
-from repro.cascade.competitive import ClaimRule, CompetitiveDiffusion, TieBreakRule
-from repro.errors import CascadeError
+from repro.cascade.competitive import ClaimRule, TieBreakRule
+from repro.cascade.estimate import SpreadEstimate
+from repro.exec.executor import Executor, resolve_executor
+from repro.exec.jobs import CompetitiveJob, SpreadJob
 from repro.graphs.digraph import DiGraph
 from repro.lint import contracts
 from repro.obs.log import get_logger
 from repro.obs.metrics import counter, histogram
-from repro.utils.rng import RandomSource, as_rng
+from repro.utils.rng import RandomSource
 from repro.utils.validation import check_positive_int
 
 _LOG = get_logger("cascade.simulate")
@@ -35,50 +43,11 @@ _COMPETITIVE_CALLS = counter("estimate.competitive_calls")
 _SPREAD_SECONDS = histogram("estimate.spread_seconds")
 _COMPETITIVE_SECONDS = histogram("estimate.competitive_seconds")
 
-
-@dataclass(frozen=True)
-class SpreadEstimate:
-    """Monte-Carlo estimate of an expected influence spread."""
-
-    mean: float
-    std: float
-    samples: int
-
-    @property
-    def stderr(self) -> float:
-        """Standard error of :attr:`mean`."""
-        if self.samples <= 1:
-            return float("inf")
-        return self.std / np.sqrt(self.samples)
-
-    @classmethod
-    def from_values(cls, values: Sequence[float]) -> "SpreadEstimate":
-        arr = np.asarray(values, dtype=float)
-        if arr.size == 0:
-            raise CascadeError("cannot build an estimate from zero samples")
-        std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
-        return cls(mean=float(arr.mean()), std=std, samples=int(arr.size))
-
-    def __add__(self, other: "SpreadEstimate") -> "SpreadEstimate":
-        """Pool two independent estimates (weighted by sample count).
-
-        Uses the same ``ddof=1`` convention as :meth:`from_values`: the
-        sums of squared deviations around the combined mean are added and
-        divided by ``n - 1``, so pooling two estimates is exactly
-        equivalent to estimating from the concatenated samples.
-        """
-        if not isinstance(other, SpreadEstimate):
-            return NotImplemented
-        n = self.samples + other.samples
-        mean = (self.mean * self.samples + other.mean * other.samples) / n
-        sum_squares = (
-            (self.samples - 1) * self.std**2
-            + self.samples * (self.mean - mean) ** 2
-            + (other.samples - 1) * other.std**2
-            + other.samples * (other.mean - mean) ** 2
-        )
-        std = float(np.sqrt(sum_squares / (n - 1))) if n > 1 else 0.0
-        return SpreadEstimate(mean=mean, std=std, samples=n)
+__all__ = [
+    "SpreadEstimate",
+    "estimate_competitive_spread",
+    "estimate_spread",
+]
 
 
 def estimate_spread(
@@ -87,16 +56,21 @@ def estimate_spread(
     seeds: Sequence[int],
     rounds: int = 100,
     rng: RandomSource = None,
+    executor: Executor | None = None,
 ) -> SpreadEstimate:
     """Estimate the non-competitive spread ``σ0(seeds)`` by *rounds* simulations."""
     check_positive_int(rounds, "rounds")
-    generator = as_rng(rng)
+    job = SpreadJob(
+        graph=graph,
+        model=model,
+        seeds=tuple(int(s) for s in seeds),
+        rounds=rounds,
+    )
     started = time.perf_counter()
-    values = [model.spread_once(graph, seeds, generator) for _ in range(rounds)]
+    (estimate,) = resolve_executor(executor).estimates([job], rng=rng)[0]
     _SPREAD_CALLS.inc()
     _SINGLE_SIMULATIONS.inc(rounds)
     _SPREAD_SECONDS.observe(time.perf_counter() - started)
-    estimate = SpreadEstimate.from_values(values)
     if contracts.enabled():
         contracts.check_spread_estimate(estimate.mean, graph.num_nodes)
     return estimate
@@ -110,6 +84,7 @@ def estimate_competitive_spread(
     rng: RandomSource = None,
     tie_break: TieBreakRule = TieBreakRule.UNIFORM,
     claim_rule: ClaimRule = ClaimRule.PROPORTIONAL,
+    executor: Executor | None = None,
 ) -> list[SpreadEstimate]:
     """Estimate per-group competitive spreads for a full seed-set profile.
 
@@ -118,15 +93,16 @@ def estimate_competitive_spread(
     paper's expectation over both sources of randomness.
     """
     check_positive_int(rounds, "rounds")
-    generator = as_rng(rng)
-    engine = CompetitiveDiffusion(graph, model, tie_break, claim_rule)
+    job = CompetitiveJob(
+        graph=graph,
+        model=model,
+        seed_sets=tuple(tuple(int(s) for s in seeds) for seeds in seed_sets),
+        rounds=rounds,
+        tie_break=tie_break,
+        claim_rule=claim_rule,
+    )
     started = time.perf_counter()
-    per_group: list[list[int]] = [[] for _ in seed_sets]
-    for _ in range(rounds):
-        outcome = engine.run(seed_sets, generator)
-        spreads = outcome.spreads()
-        for j in range(len(seed_sets)):
-            per_group[j].append(int(spreads[j]))
+    estimates = list(resolve_executor(executor).estimates([job], rng=rng)[0])
     elapsed = time.perf_counter() - started
     _COMPETITIVE_CALLS.inc()
     _COMPETITIVE_SECONDS.observe(elapsed)
@@ -136,7 +112,6 @@ def estimate_competitive_spread(
         rounds,
         elapsed,
     )
-    estimates = [SpreadEstimate.from_values(vals) for vals in per_group]
     if contracts.enabled():
         # Per-profile invariant: the group means partition at most |V| nodes.
         contracts.check_spreads(

@@ -14,7 +14,11 @@ Subcommands cover the everyday workflows:
 
 Every graph-taking command accepts the observability flags
 ``--log-level``/``--log-json`` (structured logging on stderr) and
-``--journal PATH`` (append typed JSONL events to *PATH*).
+``--journal PATH`` (append typed JSONL events to *PATH*), plus the
+execution flags ``--backend {serial,thread,process}`` / ``--workers N``
+selecting the simulation backend (defaults come from ``REPRO_BACKEND`` /
+``REPRO_WORKERS``; results are bit-identical across backends for a fixed
+seed).
 
 Examples::
 
@@ -42,6 +46,8 @@ from repro.core.getreal import get_real
 from repro.core.metrics import jaccard
 from repro.core.strategy import StrategySpace
 from repro.errors import JournalError
+from repro.exec.backends import BACKENDS
+from repro.exec.executor import Executor, build_executor
 from repro.graphs.datasets import DATASETS, get_dataset
 from repro.graphs.digraph import DiGraph
 from repro.graphs.loaders import load_edge_list
@@ -117,6 +123,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="append typed JSONL run events to PATH",
     )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="simulation backend (default: $REPRO_BACKEND or serial)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for pooled backends (default: $REPRO_WORKERS)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -186,7 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     journal.add_argument("file", help="path to a .jsonl run journal")
 
     lint = sub.add_parser(
-        "lint", help="run the reprolint static-analysis rules (RP001-RP005)"
+        "lint", help="run the reprolint static-analysis rules (RP001-RP006)"
     )
     add_lint_arguments(lint)
 
@@ -244,7 +262,14 @@ def main(argv: list[str] | None = None) -> int:
 
 def _run_command(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.scale, directed=not args.undirected)
+    # The with-block shuts pooled workers down before interpreter exit;
+    # leaking a live ProcessPoolExecutor into atexit races its own
+    # cleanup hook (OSError on the wakeup pipe under fork).
+    with build_executor(args.backend, args.workers) as executor:
+        return _dispatch(args, graph, executor)
 
+
+def _dispatch(args: argparse.Namespace, graph: DiGraph, executor: Executor) -> int:
     if args.command == "stats":
         print(format_table([summarize(graph).as_row()], title=f"graph: {args.graph}"))
         return 0
@@ -270,7 +295,9 @@ def _run_command(args: argparse.Namespace) -> int:
         algo = _algorithm(args.algorithm, args.probability)
         model = _model(args.model, args.probability)
         selected = algo.select(graph, args.k, rng=args.seed)
-        est = estimate_spread(graph, model, selected, args.rounds, rng=args.seed)
+        est = estimate_spread(
+            graph, model, selected, args.rounds, rng=args.seed, executor=executor
+        )
         print(
             f"{algo.name} @k={args.k} under {args.model}: "
             f"{est.mean:.2f} +/- {est.stderr:.2f} "
@@ -287,7 +314,7 @@ def _run_command(args: argparse.Namespace) -> int:
         s1 = first.select(graph, args.k, rng=args.seed)
         s2 = second.select(graph, args.k, rng=args.seed + 1)
         ests = estimate_competitive_spread(
-            graph, model, [s1, s2], args.rounds, rng=args.seed
+            graph, model, [s1, s2], args.rounds, rng=args.seed, executor=executor
         )
         print(
             format_table(
@@ -325,6 +352,7 @@ def _run_command(args: argparse.Namespace) -> int:
             rounds=args.rounds,
             candidate_pool=args.pool,
             rng=args.seed,
+            executor=executor,
         )
         print(f"rival ({rival_algo.name}, k={args.rival_k}) spread without "
               f"blockers: {result.rival_spread_before:.2f}")
@@ -348,6 +376,7 @@ def _run_command(args: argparse.Namespace) -> int:
         k=args.k,
         rounds=args.rounds,
         rng=args.seed,
+        executor=executor,
     )
     print(format_table(result.payoff_table.rows(), title="estimated payoffs"))
     print()

@@ -25,6 +25,7 @@ from repro.algorithms.follower import FollowerBestResponse
 from repro.cascade.base import CascadeModel
 from repro.cascade.simulate import estimate_competitive_spread
 from repro.errors import SeedSelectionError
+from repro.exec.executor import Executor
 from repro.graphs.digraph import DiGraph
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.validation import check_positive_int
@@ -58,6 +59,7 @@ def best_response_dynamics(
     candidate_pool: int = 60,
     eval_rounds: int = 30,
     rng: RandomSource = None,
+    executor: Executor | None = None,
 ) -> BestResponseOutcome:
     """Run alternate seed selection until fixed point or *max_rounds*.
 
@@ -73,6 +75,9 @@ def best_response_dynamics(
         Passed to :class:`FollowerBestResponse` per response.
     eval_rounds:
         Monte-Carlo simulations for the final/per-round spread report.
+    executor:
+        Execution engine for the batched follower sweeps and spread
+        evaluations (defaults to the env-configured process-wide one).
     """
     if len(initial_seeds) != 2:
         raise SeedSelectionError("best-response dynamics is two-group")
@@ -100,20 +105,23 @@ def best_response_dynamics(
                 rival,
                 rounds=response_rounds,
                 candidate_pool=candidate_pool,
+                executor=executor,
             )
             new_seeds = responder.select(graph, k, generator)
             if set(new_seeds) != set(seeds[mover]):
                 changed = True
             seeds[mover] = new_seeds
         ests = estimate_competitive_spread(
-            graph, model, seeds, eval_rounds, generator
+            graph, model, seeds, eval_rounds, generator, executor=executor
         )
         history.append((ests[0].mean, ests[1].mean))
         if not changed:
             converged = True
             break
 
-    final = estimate_competitive_spread(graph, model, seeds, eval_rounds, generator)
+    final = estimate_competitive_spread(
+        graph, model, seeds, eval_rounds, generator, executor=executor
+    )
     return BestResponseOutcome(
         seeds=(seeds[0], seeds[1]),
         rounds_played=rounds_played,

@@ -9,8 +9,11 @@ rival eventually claims.
 Under this library's competitive semantics a blocker works by claiming
 nodes first — once claimed, a node can never adopt the rival's product
 (the paper's third assumption) — so blocking is greedy minimization of the
-rival's spread via the shared :class:`CompetitiveDiffusion` engine, with
-common random numbers pairing the candidate comparisons.
+rival's spread via the shared competitive engine, with common random
+numbers pairing the candidate comparisons.  Each greedy step evaluates
+every remaining candidate, and those evaluations are independent — they
+are submitted to the execution engine as one
+:class:`~repro.exec.jobs.CompetitiveJob` batch per step.
 """
 
 from __future__ import annotations
@@ -21,11 +24,15 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.cascade.base import CascadeModel
-from repro.cascade.competitive import CompetitiveDiffusion
 from repro.errors import SeedSelectionError
+from repro.exec.executor import Executor, resolve_executor
+from repro.exec.jobs import CompetitiveJob
 from repro.graphs.digraph import DiGraph
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.validation import check_positive_int
+
+#: Stride between the paired random streams of successive blocking rounds.
+BLOCKING_CRN_STEP = 104729
 
 
 @dataclass(frozen=True)
@@ -57,26 +64,27 @@ class BlockingResult:
         return 1.0 - self.rival_spread_after / self.rival_spread_before
 
 
-def _rival_spread(
-    engine: CompetitiveDiffusion,
+def _blocking_job(
+    graph: DiGraph,
+    model: CascadeModel,
     rival_seeds: Sequence[int],
-    blockers: list[int],
+    blockers: Sequence[int],
     rounds: int,
     crn_base: int,
-) -> tuple[float, float]:
-    """(rival spread, blocker spread) under common random numbers."""
-    rival_total = 0
-    blocker_total = 0
-    for i in range(rounds):
-        stream = as_rng((crn_base + 104729 * i) % (2**63 - 1))
-        if blockers:
-            outcome = engine.run([list(rival_seeds), blockers], stream)
-            rival_total += outcome.spread(0)
-            blocker_total += outcome.spread(1)
-        else:
-            outcome = engine.run([list(rival_seeds)], stream)
-            rival_total += outcome.spread(0)
-    return rival_total / rounds, blocker_total / rounds
+) -> CompetitiveJob:
+    """Rival-vs-blockers evaluation as a CRN-paired competitive job."""
+    rival = tuple(int(s) for s in rival_seeds)
+    seed_sets = (
+        (rival, tuple(int(b) for b in blockers)) if blockers else (rival,)
+    )
+    return CompetitiveJob(
+        graph=graph,
+        model=model,
+        seed_sets=seed_sets,
+        rounds=rounds,
+        crn_base=crn_base,
+        crn_step=BLOCKING_CRN_STEP,
+    )
 
 
 def select_blockers(
@@ -87,13 +95,16 @@ def select_blockers(
     rounds: int = 10,
     candidate_pool: int = 100,
     rng: RandomSource = None,
+    executor: Executor | None = None,
 ) -> BlockingResult:
     """Greedy blocker selection minimizing the rival's competitive spread.
 
     Candidates are the top-``candidate_pool`` nodes by out-degree plus the
     rival's own seeds' neighbours (the positions that intercept the rival
-    earliest); each greedy step picks the candidate whose addition lowers
-    the rival's CRN-paired expected spread the most.
+    earliest); each greedy step batches all remaining candidates through
+    *executor* and picks the one whose addition lowers the rival's
+    CRN-paired expected spread the most (first wins on ties, matching the
+    sorted candidate order).
     """
     check_positive_int(k, "k")
     check_positive_int(rounds, "rounds")
@@ -107,7 +118,7 @@ def select_blockers(
 
     generator = as_rng(rng)
     crn_base = int(generator.integers(0, 2**62))
-    engine = CompetitiveDiffusion(graph, model)
+    runner = resolve_executor(executor)
 
     degrees = graph.out_degrees().astype(float)
     degrees += generator.random(graph.num_nodes) * 1e-9
@@ -121,31 +132,31 @@ def select_blockers(
             f"only {len(candidates)} candidates available for budget k={k}"
         )
 
-    baseline, _ = _rival_spread(engine, rival, [], rounds, crn_base)
+    baseline_job = _blocking_job(graph, model, rival, [], rounds, crn_base)
+    baseline = runner.estimates([baseline_job], rng=generator)[0][0].mean
 
     blockers: list[int] = []
-    current = baseline
     for _ in range(k):
+        remaining = [c for c in candidates if c not in blockers]
+        jobs = [
+            _blocking_job(graph, model, rival, blockers + [c], rounds, crn_base)
+            for c in remaining
+        ]
+        results = runner.estimates(jobs, rng=generator)
         best_candidate = -1
         best_spread = float("inf")
-        for c in candidates:
-            if c in blockers:
-                continue
-            spread, _ = _rival_spread(
-                engine, rival, blockers + [c], rounds, crn_base
-            )
+        for c, estimates in zip(remaining, results):
+            spread = estimates[0].mean
             if spread < best_spread:
                 best_spread = spread
                 best_candidate = c
         blockers.append(best_candidate)
-        current = best_spread
 
-    final_rival, final_blocker = _rival_spread(
-        engine, rival, blockers, rounds, crn_base
-    )
+    final_job = _blocking_job(graph, model, rival, blockers, rounds, crn_base)
+    final = runner.estimates([final_job], rng=generator)[0]
     return BlockingResult(
         blockers=blockers,
         rival_spread_before=baseline,
-        rival_spread_after=final_rival,
-        blocker_spread=final_blocker,
+        rival_spread_after=final[0].mean,
+        blocker_spread=final[1].mean,
     )

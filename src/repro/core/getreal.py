@@ -30,6 +30,7 @@ from repro.cascade.base import CascadeModel
 from repro.cascade.competitive import ClaimRule, TieBreakRule
 from repro.core.payoff import PayoffTable, estimate_payoff_table
 from repro.core.strategy import MixedStrategy, StrategySpace
+from repro.exec.executor import Executor
 from repro.game.mixed import (
     regret_of_symmetric_mixture,
     symmetric_mixed_equilibrium,
@@ -186,6 +187,7 @@ def get_real(
     tie_break: TieBreakRule = TieBreakRule.UNIFORM,
     claim_rule: ClaimRule = ClaimRule.PROPORTIONAL,
     journal: RunJournal | None = None,
+    executor: Executor | None = None,
 ) -> GetRealResult:
     """Run the full GetReal pipeline: estimate payoffs, then find the NE.
 
@@ -243,6 +245,7 @@ def get_real(
             tie_break=tie_break,
             claim_rule=claim_rule,
             journal=sink,
+            executor=executor,
         )
         result = solve_strategy_game(table.to_game(), space, payoff_table=table)
     except Exception as exc:

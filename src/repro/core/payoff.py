@@ -13,11 +13,18 @@ group.  Two sources of randomness are integrated over:
 ``seed_draws`` controls how many independent seed-set draws are averaged;
 ``rounds`` is the total number of diffusion simulations per profile, split
 evenly across the draws.
+
+All ``z^r x seed_draws`` profile simulations are independent, so they are
+fanned out as **one batch** through the execution engine: seed sets are
+drawn sequentially up front (they consume the caller's generator), then
+one :class:`~repro.exec.jobs.CompetitiveJob` per (draw, profile) cell is
+submitted and the per-draw estimates are pooled exactly via
+:meth:`SpreadEstimate.__add__`.  Results are bit-identical across
+backends and worker counts for a fixed master seed.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from itertools import product
 from collections.abc import Sequence
@@ -26,11 +33,14 @@ import numpy as np
 
 from repro.cascade.base import CascadeModel
 from repro.cascade.competitive import ClaimRule, TieBreakRule
-from repro.cascade.simulate import SpreadEstimate, estimate_competitive_spread
+from repro.cascade.simulate import SpreadEstimate
 from repro.core.strategy import StrategySpace
 from repro.errors import PayoffEstimationError
+from repro.exec.executor import Executor, resolve_executor
+from repro.exec.jobs import CompetitiveJob
 from repro.game.normal_form import NormalFormGame
 from repro.graphs.digraph import DiGraph
+from repro.lint import contracts
 from repro.obs.journal import RunJournal, current_journal
 from repro.obs.log import get_logger
 from repro.obs.metrics import counter, histogram
@@ -110,19 +120,22 @@ def estimate_payoff_table(
     tie_break: TieBreakRule = TieBreakRule.UNIFORM,
     claim_rule: ClaimRule = ClaimRule.PROPORTIONAL,
     journal: RunJournal | None = None,
+    executor: Executor | None = None,
 ) -> PayoffTable:
     """Estimate the full payoff table for *num_groups* groups over *space*.
 
     Every profile in ``Φ^r`` is simulated; for games of GetReal scale
     (``z, r ≤ 3``) this is at most 27 profiles.  Per profile, *rounds*
     competitive diffusions are run, split evenly over *seed_draws*
-    independent seed-set draws per (group, strategy) pair.
+    independent seed-set draws per (group, strategy) pair.  The
+    ``seed_draws x z^r`` cells are submitted to *executor* (or the
+    env-configured default) as a single batch.
 
     When *journal* is given (or a journal is attached via
     :func:`repro.obs.attach_journal`), a ``profile_start`` event is
-    emitted the first time each profile is simulated and a
-    ``profile_done`` event — per-player mean/stderr plus wall-clock
-    duration — once its last seed draw completes.
+    emitted when each profile is first submitted and a ``profile_done``
+    event — per-player mean/stderr plus summed per-job wall-clock
+    duration — once its estimates are pooled.
     """
     r = check_positive_int(num_groups, "num_groups")
     check_positive_int(k, "k")
@@ -147,64 +160,88 @@ def estimate_payoff_table(
         seed_draws,
     )
 
-    accumulated: dict[tuple[int, ...], list[SpreadEstimate]] = {}
-    durations: dict[tuple[int, ...], float] = {}
-    for draw in range(seed_draws):
-        # Independent seed sets per (group, strategy): S[i][j] is what group
-        # i would seed if it played strategy j this draw.
-        seed_sets = [
+    # Phase 1 (sequential): draw seed sets.  S[draw][i][j] is what group i
+    # would seed if it played strategy j in this draw.  These consume the
+    # caller's generator in a fixed order, independent of the backend.
+    all_seed_sets = [
+        [
             [space[j].select(graph, k, generator) for j in range(z)]
             for i in range(r)
         ]
-        for profile in product(range(z), repeat=r):
-            labels = [space[a].name for a in profile]
+        for draw in range(seed_draws)
+    ]
+
+    # Phase 2: one job per (draw, profile) cell, in deterministic order.
+    profiles = list(product(range(z), repeat=r))
+    job_cells: list[tuple[int, tuple[int, ...]]] = []
+    jobs: list[CompetitiveJob] = []
+    for draw in range(seed_draws):
+        seed_sets = all_seed_sets[draw]
+        for profile in profiles:
             if sink is not None and draw == 0:
+                labels = [space[a].name for a in profile]
                 sink.profile_start(profile, labels)
-            started = time.perf_counter()
-            profile_sets = [seed_sets[i][profile[i]] for i in range(r)]
-            ests = estimate_competitive_spread(
-                graph,
-                model,
-                profile_sets,
-                rounds=rounds_per_draw,
-                rng=generator,
-                tie_break=tie_break,
-                claim_rule=claim_rule,
-            )
-            elapsed = time.perf_counter() - started
-            _PROFILES.inc()
-            _PROFILE_SECONDS.observe(elapsed)
-            durations[profile] = durations.get(profile, 0.0) + elapsed
-            if profile in accumulated:
-                accumulated[profile] = [
-                    prev + new for prev, new in zip(accumulated[profile], ests)
-                ]
-            else:
-                accumulated[profile] = list(ests)
-            if draw == seed_draws - 1:
-                pooled = accumulated[profile]
-                _LOG.debug(
-                    "profile %s done: means=%s (%.3fs)",
-                    "-".join(labels),
-                    [round(est.mean, 2) for est in pooled],
-                    durations[profile],
+            jobs.append(
+                CompetitiveJob(
+                    graph=graph,
+                    model=model,
+                    seed_sets=tuple(
+                        tuple(int(s) for s in seed_sets[i][profile[i]])
+                        for i in range(r)
+                    ),
+                    rounds=rounds_per_draw,
+                    tie_break=tie_break,
+                    claim_rule=claim_rule,
                 )
-                if sink is not None:
-                    sink.profile_done(
-                        profile,
-                        labels,
-                        players=[
-                            {
-                                "group": i,
-                                "mean": est.mean,
-                                "stderr": est.stderr,
-                                "std": est.std,
-                                "samples": est.samples,
-                            }
-                            for i, est in enumerate(pooled)
-                        ],
-                        duration_seconds=durations[profile],
-                    )
+            )
+            job_cells.append((draw, profile))
+    outcomes = resolve_executor(executor).run(jobs, rng=generator)
+
+    # Phase 3: pool the per-draw estimates per profile (exact — pooling
+    # via ``__add__`` equals estimating from the concatenated samples).
+    accumulated: dict[tuple[int, ...], list[SpreadEstimate]] = {}
+    durations: dict[tuple[int, ...], float] = {}
+    for (draw, profile), outcome in zip(job_cells, outcomes):
+        ests = outcome.estimates
+        _PROFILES.inc()
+        _PROFILE_SECONDS.observe(outcome.job_seconds)
+        durations[profile] = durations.get(profile, 0.0) + outcome.job_seconds
+        if profile in accumulated:
+            accumulated[profile] = [
+                prev + new for prev, new in zip(accumulated[profile], ests)
+            ]
+        else:
+            accumulated[profile] = list(ests)
+
+    for profile in profiles:
+        pooled = accumulated[profile]
+        labels = [space[a].name for a in profile]
+        if contracts.enabled():
+            contracts.check_spreads(
+                [est.mean for est in pooled], graph.num_nodes, "mean spreads"
+            )
+        _LOG.debug(
+            "profile %s done: means=%s (%.3fs)",
+            "-".join(labels),
+            [round(est.mean, 2) for est in pooled],
+            durations[profile],
+        )
+        if sink is not None:
+            sink.profile_done(
+                profile,
+                labels,
+                players=[
+                    {
+                        "group": i,
+                        "mean": est.mean,
+                        "stderr": est.stderr,
+                        "std": est.std,
+                        "samples": est.samples,
+                    }
+                    for i, est in enumerate(pooled)
+                ],
+                duration_seconds=durations[profile],
+            )
 
     _TABLES.inc()
     estimates = {

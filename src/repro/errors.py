@@ -45,6 +45,10 @@ class ExperimentError(ReproError):
     """An experiment runner received an invalid configuration."""
 
 
+class ExecutionError(ReproError):
+    """The batched execution engine was misconfigured or a backend failed."""
+
+
 class ObservabilityError(ReproError):
     """The observability layer was misconfigured."""
 

@@ -1,0 +1,54 @@
+"""Pluggable batched execution engine for Monte-Carlo simulation.
+
+Public surface: the :class:`Executor` facade, the job types it schedules
+(:class:`SpreadJob`, :class:`CompetitiveJob`, anything satisfying the
+:class:`SimulationJob` protocol), the three backends, and the env-driven
+default-executor plumbing.  See ``docs/execution.md`` for the design and
+the SeedSequence-spawn determinism scheme.
+"""
+
+from repro.exec.backends import (
+    BACKENDS,
+    ProcessBackend,
+    SerialBackend,
+    SimulationBackend,
+    ThreadBackend,
+    make_backend,
+)
+from repro.exec.executor import (
+    BACKEND_ENV_VAR,
+    WORKERS_ENV_VAR,
+    Executor,
+    JobOutcome,
+    build_executor,
+    default_executor,
+    reset_default_executor,
+    resolve_executor,
+)
+from repro.exec.jobs import (
+    CompetitiveJob,
+    SimulationJob,
+    SnapshotGainsJob,
+    SpreadJob,
+)
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_ENV_VAR",
+    "WORKERS_ENV_VAR",
+    "CompetitiveJob",
+    "Executor",
+    "JobOutcome",
+    "ProcessBackend",
+    "SerialBackend",
+    "SimulationBackend",
+    "SimulationJob",
+    "SnapshotGainsJob",
+    "SpreadJob",
+    "ThreadBackend",
+    "build_executor",
+    "default_executor",
+    "make_backend",
+    "reset_default_executor",
+    "resolve_executor",
+]

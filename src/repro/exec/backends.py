@@ -1,0 +1,179 @@
+"""Execution backends: serial, thread-pool, and process-pool job runners.
+
+A backend's only contract is :meth:`SimulationBackend.map_unordered`: apply
+the worker function to every payload and yield ``(index, estimates,
+queue_wait_seconds, job_seconds)`` records **in any order**.  The
+:class:`~repro.exec.executor.Executor` reassembles results by index, and
+per-job randomness is fixed up front by the spawned seed sequences, so
+completion order never affects results.
+
+Backend choice is a pure performance trade-off (see ``docs/execution.md``):
+
+* :class:`SerialBackend` — zero overhead; the default and the baseline.
+* :class:`ThreadBackend` — shares memory (no pickling) but the diffusion
+  inner loops are pure Python, so the GIL caps speedup; useful mainly when
+  a job type releases the GIL (numpy-heavy jobs) or for latency hiding.
+* :class:`ProcessBackend` — true multi-core scaling at the cost of
+  pickling each job (graph included) to the worker; wins whenever per-job
+  simulation time dominates serialization, which the Table-4 payoff
+  workload comfortably does.
+
+Pools are created lazily and reused across batches; call
+:meth:`SimulationBackend.close` (or close the owning executor) to release
+worker threads/processes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import (
+    Executor as _FuturesExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.cascade.estimate import SpreadEstimate
+from repro.errors import ExecutionError
+from repro.exec.jobs import SimulationJob
+from repro.utils.rng import as_rng
+
+#: (index, job, per-job seed sequence, batch submission time).
+JobPayload = tuple[int, SimulationJob, np.random.SeedSequence, float]
+
+#: (index, estimates, queue-wait seconds, job-duration seconds).
+JobRecord = tuple[int, tuple[SpreadEstimate, ...], float, float]
+
+
+def execute_job(payload: JobPayload) -> JobRecord:
+    """Run one job with its dedicated RNG stream (the worker entry point).
+
+    Module-level so the process backend can pickle a reference to it; the
+    timing fields use :func:`time.monotonic`, which is system-wide on the
+    platforms we support, so queue waits measured across fork boundaries
+    stay meaningful.
+    """
+    index, job, seed_seq, submitted = payload
+    started = time.monotonic()
+    estimates = job.run(as_rng(seed_seq))
+    finished = time.monotonic()
+    return index, estimates, max(0.0, started - submitted), finished - started
+
+
+class SimulationBackend:
+    """Strategy interface for running a batch of independent jobs."""
+
+    #: short identifier used in metrics, journal events, and CLI flags
+    name: str = "abstract"
+
+    def map_unordered(
+        self, payloads: Sequence[JobPayload]
+    ) -> Iterator[JobRecord]:
+        """Yield one :data:`JobRecord` per payload, in any order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any pooled workers (idempotent)."""
+
+    def __enter__(self) -> "SimulationBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialBackend(SimulationBackend):
+    """Run jobs one after another in the calling thread."""
+
+    name = "serial"
+
+    def map_unordered(
+        self, payloads: Sequence[JobPayload]
+    ) -> Iterator[JobRecord]:
+        for payload in payloads:
+            yield execute_job(payload)
+
+
+class _PooledBackend(SimulationBackend):
+    """Shared submit/gather plumbing for the pool-based backends."""
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is not None and workers < 1:
+            raise ExecutionError(f"workers must be >= 1, got {workers}")
+        self.workers = workers or os.cpu_count() or 1
+        self._pool: _FuturesExecutor | None = None
+
+    def _make_pool(self) -> _FuturesExecutor:
+        raise NotImplementedError
+
+    def _ensure_pool(self) -> _FuturesExecutor:
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
+
+    def map_unordered(
+        self, payloads: Sequence[JobPayload]
+    ) -> Iterator[JobRecord]:
+        pool = self._ensure_pool()
+        futures = [pool.submit(execute_job, payload) for payload in payloads]
+        for future in as_completed(futures):
+            yield future.result()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class ThreadBackend(_PooledBackend):
+    """Run jobs on a shared :class:`ThreadPoolExecutor`."""
+
+    name = "thread"
+
+    def _make_pool(self) -> _FuturesExecutor:
+        return ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-exec"
+        )
+
+
+class ProcessBackend(_PooledBackend):
+    """Run jobs on a shared :class:`ProcessPoolExecutor`.
+
+    Jobs and results cross the process boundary by pickling, so job types
+    must be module-level classes and should keep their payloads lean (the
+    graph's arrays dominate; at experiment scale that is well under the
+    per-job simulation cost).
+    """
+
+    name = "process"
+
+    def _make_pool(self) -> _FuturesExecutor:
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+
+#: Registry used by the CLI/env plumbing; order defines documentation order.
+BACKENDS: dict[str, type[SimulationBackend]] = {
+    SerialBackend.name: SerialBackend,
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def make_backend(name: str, workers: int | None = None) -> SimulationBackend:
+    """Instantiate a backend by name (``serial``/``thread``/``process``)."""
+    try:
+        backend_cls = BACKENDS[name]
+    except KeyError:
+        raise ExecutionError(
+            f"unknown execution backend {name!r}; known: {sorted(BACKENDS)}"
+        ) from None
+    if backend_cls is SerialBackend:
+        return SerialBackend()
+    return backend_cls(workers)

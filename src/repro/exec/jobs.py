@@ -1,0 +1,162 @@
+"""Simulation job types: the unit of work the execution engine schedules.
+
+A *job* is a self-contained, picklable description of a batch-able piece of
+Monte-Carlo work: everything it needs (graph, model, seed sets, round
+count) travels with it, and :meth:`~SimulationJob.run` produces a tuple of
+:class:`~repro.cascade.estimate.SpreadEstimate` — one per quantity the job
+estimates.  Self-containment is what lets the same job object execute
+unchanged on the serial, thread, and process backends.
+
+Two concrete jobs cover the σ(·) quantities of the paper:
+
+* :class:`SpreadJob` — the non-competitive spread ``σ0(S)`` of one seed
+  set (a 1-tuple of estimates);
+* :class:`CompetitiveJob` — the per-group spreads ``(σ1, .., σr)`` of a
+  full seed-set profile under the competitive engine.
+
+``CompetitiveJob`` optionally runs under **common random numbers**
+(``crn_base``): round *i* replays the stream seeded
+``crn_base + crn_step·i`` instead of drawing from the job's spawned
+generator, so candidate comparisons inside greedy loops (follower best
+response, blocker selection) are paired across jobs.
+
+Other modules may define their own job types — anything satisfying the
+:class:`SimulationJob` protocol (and picklable, for the process backend)
+can be submitted to an :class:`~repro.exec.executor.Executor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.cascade.base import CascadeModel
+from repro.cascade.competitive import ClaimRule, CompetitiveDiffusion, TieBreakRule
+from repro.cascade.estimate import SpreadEstimate
+from repro.cascade.reachability import all_reach_sizes
+from repro.graphs.digraph import DiGraph
+from repro.utils.rng import as_rng
+
+#: Modulus keeping derived common-random-number seeds inside numpy's range.
+_SEED_MODULUS = 2**63 - 1
+
+
+@runtime_checkable
+class SimulationJob(Protocol):
+    """Anything the execution engine can schedule.
+
+    ``run`` receives a dedicated :class:`numpy.random.Generator` (spawned
+    from the batch's root seed sequence — see
+    :func:`repro.utils.rng.spawn_seed_sequences`) and returns one
+    :class:`SpreadEstimate` per estimated quantity.  ``num_nodes`` bounds
+    every estimate for the opt-in runtime contracts; return ``None`` when
+    no graph-derived bound applies.
+    """
+
+    def run(self, generator: np.random.Generator) -> tuple[SpreadEstimate, ...]:
+        """Execute the job using *generator* for all randomness."""
+        ...
+
+    @property
+    def num_nodes(self) -> int | None:
+        """Upper bound for every estimate's mean, or ``None``."""
+        ...
+
+
+@dataclass(frozen=True)
+class SpreadJob:
+    """Estimate the non-competitive spread ``σ0(seeds)`` by *rounds* simulations."""
+
+    graph: DiGraph
+    model: CascadeModel
+    seeds: tuple[int, ...]
+    rounds: int
+
+    @property
+    def num_nodes(self) -> int | None:
+        return self.graph.num_nodes
+
+    def run(self, generator: np.random.Generator) -> tuple[SpreadEstimate, ...]:
+        values = np.empty(self.rounds, dtype=float)
+        for i in range(self.rounds):
+            values[i] = self.model.spread_once(self.graph, self.seeds, generator)
+        return (SpreadEstimate.from_values(values),)
+
+
+@dataclass(frozen=True)
+class CompetitiveJob:
+    """Estimate per-group competitive spreads for one seed-set profile.
+
+    Each of the *rounds* simulations independently re-resolves seed
+    collisions (initiator assignment) and re-runs the diffusion, matching
+    the paper's expectation over both sources of randomness.
+
+    When ``crn_base`` is set, round *i* draws from a fresh stream seeded
+    ``(crn_base + crn_step·i) mod 2^63-1`` — the common-random-numbers
+    pairing used by the greedy candidate loops.
+    """
+
+    graph: DiGraph
+    model: CascadeModel
+    seed_sets: tuple[tuple[int, ...], ...]
+    rounds: int
+    tie_break: TieBreakRule = TieBreakRule.UNIFORM
+    claim_rule: ClaimRule = ClaimRule.PROPORTIONAL
+    crn_base: int | None = None
+    crn_step: int = 7919
+
+    @property
+    def num_nodes(self) -> int | None:
+        return self.graph.num_nodes
+
+    def run(self, generator: np.random.Generator) -> tuple[SpreadEstimate, ...]:
+        engine = CompetitiveDiffusion(
+            self.graph, self.model, self.tie_break, self.claim_rule
+        )
+        profile = [list(seeds) for seeds in self.seed_sets]
+        values = np.empty((len(profile), self.rounds), dtype=float)
+        for i in range(self.rounds):
+            if self.crn_base is None:
+                stream = generator
+            else:
+                stream = as_rng((self.crn_base + self.crn_step * i) % _SEED_MODULUS)
+            outcome = engine.run(profile, stream)
+            values[:, i] = outcome.spreads()
+        return tuple(
+            SpreadEstimate.from_values(values[j]) for j in range(len(profile))
+        )
+
+
+@dataclass(frozen=True)
+class SnapshotGainsJob:
+    """Exact per-node reach sizes over a chunk of live-edge snapshots.
+
+    Used by the snapshot-greedy algorithms (MixGreedy / CELF) to fan the
+    NewGreedy step out across workers: each job evaluates its chunk of
+    masks with the SCC-condensation DP and returns one estimate **per
+    node** (samples = masks in the chunk).  Pooling the chunk estimates
+    with :meth:`SpreadEstimate.__add__` recovers the average reach over
+    the full snapshot sample; reach sizes are integers, so the pooled
+    means are exact regardless of how masks were chunked.
+
+    The job draws no randomness — masks are sampled by the caller so the
+    snapshot sample is identical no matter which backend evaluates it.
+    """
+
+    graph: DiGraph
+    masks: tuple[np.ndarray, ...]
+
+    @property
+    def num_nodes(self) -> int | None:
+        return self.graph.num_nodes
+
+    def run(self, generator: np.random.Generator) -> tuple[SpreadEstimate, ...]:
+        values = np.empty((len(self.masks), self.graph.num_nodes), dtype=float)
+        for i, mask in enumerate(self.masks):
+            values[i] = all_reach_sizes(self.graph, mask)
+        return tuple(
+            SpreadEstimate.from_values(values[:, v])
+            for v in range(self.graph.num_nodes)
+        )

@@ -15,6 +15,11 @@ variable                     meaning                                  default
 ``REPRO_BENCH_SEED``         master RNG seed                          2015
 ``REPRO_BENCH_ICP``          IC edge probability                      0.05
 ===========================  =======================================  =======
+
+Execution is configured by the engine's own variables: ``REPRO_BACKEND``
+(``serial``/``thread``/``process``) and ``REPRO_WORKERS`` select the
+simulation backend all runners submit their batches to — results are
+bit-identical across those settings for a fixed seed.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from repro.algorithms import DegreeDiscount, MixGreedy, SingleDiscount
 from repro.cascade import CascadeModel, IndependentCascade, WeightedCascade
 from repro.core.strategy import StrategySpace
 from repro.errors import ExperimentError
+from repro.exec.executor import BACKEND_ENV_VAR, Executor, build_executor
 from repro.graphs.datasets import DATASETS
 from repro.graphs.digraph import DiGraph
 
@@ -33,6 +39,11 @@ from repro.graphs.digraph import DiGraph
 def _env_int(name: str, default: int) -> int:
     raw = os.environ.get(name)
     return int(raw) if raw else default
+
+
+def _env_str(name: str, default: str) -> str:
+    raw = os.environ.get(name, "").strip()
+    return raw if raw else default
 
 
 def _env_float(name: str, default: float) -> float:
@@ -66,7 +77,14 @@ class ExperimentConfig:
     ic_probability: float = field(
         default_factory=lambda: _env_float("REPRO_BENCH_ICP", 0.08)
     )
+    backend: str = field(
+        default_factory=lambda: _env_str(BACKEND_ENV_VAR, "serial")
+    )
+    workers: int | None = field(
+        default_factory=lambda: _env_int("REPRO_WORKERS", 0) or None
+    )
     _graph_cache: dict[str, DiGraph] = field(default_factory=dict, repr=False)
+    _executor: Executor | None = field(default=None, repr=False)
 
     def scale_for(self, dataset: str) -> float:
         """Fraction of the paper-scale graph that fits the node budget."""
@@ -84,6 +102,12 @@ class ExperimentConfig:
                 scale=self.scale_for(dataset)
             )
         return self._graph_cache[dataset]
+
+    def executor(self) -> Executor:
+        """The (cached) execution engine all runners submit batches to."""
+        if self._executor is None:
+            self._executor = build_executor(self.backend, self.workers)
+        return self._executor
 
     # ------------------------------------------------------------------ #
     # the paper's model/strategy pairings
@@ -104,13 +128,9 @@ class ExperimentConfig:
         Under WC: φ1 = MixGreedy(WC), φ2 = SingleDiscount.
         """
         model = self.model(model_kind)
-        if model_kind == "ic":
-            return StrategySpace(
-                [
-                    MixGreedy(model, num_snapshots=self.snapshots),
-                    DegreeDiscount(self.ic_probability),
-                ]
-            )
-        return StrategySpace(
-            [MixGreedy(model, num_snapshots=self.snapshots), SingleDiscount()]
+        greedy = MixGreedy(
+            model, num_snapshots=self.snapshots, executor=self.executor()
         )
+        if model_kind == "ic":
+            return StrategySpace([greedy, DegreeDiscount(self.ic_probability)])
+        return StrategySpace([greedy, SingleDiscount()])

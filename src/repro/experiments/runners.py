@@ -176,7 +176,12 @@ def spread_rows(
             for p1_strategy in space:
                 s1 = seeds[("p1", p1_strategy.name)][:k]
                 ests = estimate_competitive_spread(
-                    graph, model, [s1, s2], config.rounds, rng
+                    graph,
+                    model,
+                    [s1, s2],
+                    config.rounds,
+                    rng,
+                    executor=config.executor(),
                 )
                 rows.append(
                     {
@@ -189,7 +194,12 @@ def spread_rows(
                 )
             for phi in space:
                 singleton = estimate_spread(
-                    graph, model, seeds[("p1", phi.name)][:k], config.rounds, rng
+                    graph,
+                    model,
+                    seeds[("p1", phi.name)][:k],
+                    config.rounds,
+                    rng,
+                    executor=config.executor(),
                 )
                 rows.append(
                     {
@@ -225,6 +235,7 @@ def _mixture_for(
         rounds=3 * config.rounds,
         seed_draws=3,
         rng=config.seed,
+        executor=config.executor(),
     )
     return result.mixture, space
 
@@ -269,6 +280,7 @@ def mixed_vs_random_rows(
                     [seeds[("p1", phi1.name)][:k], seeds[("p2", phi2.name)][:k]],
                     rounds=1,
                     rng=rng,
+                    executor=config.executor(),
                 )
                 totals += [ests[0].mean, ests[1].mean]
             means = totals / simulation_rounds
@@ -314,6 +326,7 @@ def profile_rows(
                 [seeds[("p1", phi1.name)][:k], seeds[("p2", phi2.name)][:k]],
                 config.rounds,
                 rng,
+                executor=config.executor(),
             )
             weight = mixture.probabilities[i] * mixture.probabilities[j]
             mixed_expect += weight * np.array([ests[0].mean, ests[1].mean])
@@ -371,6 +384,7 @@ def response_time_rows(
                     k=min(20, max(config.ks)),
                     rounds=max(4, config.rounds // 4),
                     rng=rng,
+                    executor=config.executor(),
                 )
                 game = table.to_game()
                 watch = Stopwatch()
@@ -422,6 +436,7 @@ def sensitivity_rows(
                 k=k,
                 rounds=rounds,
                 rng=as_rng(config.seed + 100 + 31 * i + rounds),
+                executor=config.executor(),
             )
             kinds.append(result.kind)
             rhos.append(float(result.mixture.probabilities[0]))

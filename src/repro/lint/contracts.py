@@ -101,6 +101,38 @@ def check_spreads(spreads: object, num_nodes: int, name: str = "spreads") -> Non
         )
 
 
+def check_batch(
+    results: Sequence[Sequence[object]],
+    num_nodes: Sequence[int | None],
+    name: str = "batch",
+) -> None:
+    """Post-batch invariants of the execution engine.
+
+    * the backend returned exactly one result per submitted job;
+    * every estimate of every job is finite and, when the job carries a
+      graph bound, its mean lies in ``[0, |V|]`` — a garbage worker result
+      (truncated pickle, mismatched stream) corrupts the payoff tensor as
+      surely as a broken model does.
+    """
+    if len(results) != len(num_nodes):
+        raise ContractViolation(
+            f"{name}: backend returned {len(results)} results for "
+            f"{len(num_nodes)} jobs"
+        )
+    for job_index, (estimates, bound) in enumerate(zip(results, num_nodes)):
+        for estimate in estimates:
+            mean = float(getattr(estimate, "mean", float("nan")))
+            if not np.isfinite(mean):
+                raise ContractViolation(
+                    f"{name}: job {job_index} produced a non-finite mean"
+                )
+            if mean < 0.0 or (bound is not None and mean > bound):
+                raise ContractViolation(
+                    f"{name}: job {job_index} mean {mean} outside "
+                    f"[0, {bound}]"
+                )
+
+
 def check_spread_estimate(mean: float, num_nodes: int, name: str = "spread") -> None:
     """A Monte-Carlo spread estimate must land in ``[0, |V|]``."""
     if not np.isfinite(mean):

@@ -1,4 +1,4 @@
-"""The RP001–RP005 rule catalogue.
+"""The RP001–RP006 rule catalogue.
 
 Each rule is scoped to the packages where its invariant is load-bearing
 (see :meth:`~repro.lint.base.Rule.applies_to`); scoping is by path parts so
@@ -388,12 +388,108 @@ class PublicAPIAnnotations(Rule):
     visit_AsyncFunctionDef = _visit_function
 
 
+class NoAdHocSimulationLoops(Rule):
+    """RP006: Monte-Carlo repetition belongs to the execution engine.
+
+    A hand-rolled loop over ``model.spread_once(...)`` or
+    ``CompetitiveDiffusion(...).run(...)`` pins its simulations to one
+    thread, draws from whatever generator happens to be in scope (so the
+    result depends on call order, not just the master seed), and is
+    invisible to the batch instrumentation.  Only the execution engine's
+    job types (``repro/exec/``) and the thin estimation wrappers in
+    ``cascade/simulate.py`` may run simulations directly.
+    """
+
+    code: ClassVar[str] = "RP006"
+    name: ClassVar[str] = "no-adhoc-simulation-loops"
+    rationale: ClassVar[str] = (
+        "ad-hoc simulation loops bypass the batched executor: they cannot "
+        "be parallelized, escape the batch metrics/journal, and break the "
+        "one-entropy-draw-per-batch determinism scheme"
+    )
+    hint: ClassVar[str] = (
+        "describe the repetition as SpreadJob/CompetitiveJob objects and "
+        "submit one batch via repro.exec.Executor (estimate_spread / "
+        "estimate_competitive_spread wrap the single-job case)"
+    )
+
+    @classmethod
+    def applies_to(cls, module: tuple[str, ...]) -> bool:
+        if "exec" in module[:-1]:
+            return False
+        return module[-2:] != ("cascade", "simulate.py")
+
+    def __init__(self, path: str, module: tuple[str, ...]):
+        super().__init__(path, module)
+        self._loop_depth = 0
+        self._engine_names: set[str] = set()
+
+    @staticmethod
+    def _is_engine_ctor(node: ast.expr) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        name = dotted_name(node.func)
+        return name is not None and name.split(".")[-1] == "CompetitiveDiffusion"
+
+    def _record_engine(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self._engine_names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            self._engine_names.add(target.attr)  # self.engine = ...
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_engine_ctor(node.value):
+            for target in node.targets:
+                self._record_engine(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and self._is_engine_ctor(node.value):
+            self._record_engine(node.target)
+        self.generic_visit(node)
+
+    def _visit_loop(self, node: ast.AST) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    visit_For = _visit_loop
+    visit_AsyncFor = _visit_loop
+    visit_While = _visit_loop
+    visit_ListComp = _visit_loop
+    visit_SetComp = _visit_loop
+    visit_DictComp = _visit_loop
+    visit_GeneratorExp = _visit_loop
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if self._loop_depth > 0 and isinstance(func, ast.Attribute):
+            if func.attr == "spread_once":
+                self.report(
+                    node, "simulation loop over spread_once(...) outside the engine"
+                )
+            elif func.attr == "run":
+                owner: str | None = None
+                if isinstance(func.value, ast.Name):
+                    owner = func.value.id
+                elif isinstance(func.value, ast.Attribute):
+                    owner = func.value.attr
+                if owner in self._engine_names or self._is_engine_ctor(func.value):
+                    self.report(
+                        node,
+                        "simulation loop over CompetitiveDiffusion.run(...) "
+                        "outside the engine",
+                    )
+        self.generic_visit(node)
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     NoGlobalRandom,
     NoFloatEquality,
     NoGraphMutation,
     CacheMetricHandles,
     PublicAPIAnnotations,
+    NoAdHocSimulationLoops,
 )
 
 

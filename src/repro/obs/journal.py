@@ -58,6 +58,8 @@ EVENT_TYPES = (
     "run_end",
     "span",
     "note",
+    "batch_start",
+    "batch_done",
 )
 
 
@@ -153,6 +155,36 @@ class RunJournal:
             profile=list(profile),
             labels=list(labels),
             players=[dict(p) for p in players],
+            duration_seconds=float(duration_seconds),
+        )
+
+    def batch_start(
+        self, batch_id: int, jobs: int, backend: str, workers: int
+    ) -> None:
+        """A simulation batch was submitted to an execution backend."""
+        self.emit(
+            "batch_start",
+            batch_id=int(batch_id),
+            jobs=int(jobs),
+            backend=backend,
+            workers=int(workers),
+        )
+
+    def batch_done(
+        self,
+        batch_id: int,
+        jobs: int,
+        backend: str,
+        workers: int,
+        duration_seconds: float,
+    ) -> None:
+        """Every job of a simulation batch completed."""
+        self.emit(
+            "batch_done",
+            batch_id=int(batch_id),
+            jobs=int(jobs),
+            backend=backend,
+            workers=int(workers),
             duration_seconds=float(duration_seconds),
         )
 
@@ -388,6 +420,20 @@ def render_journal_report(events: Sequence[Mapping[str, Any]]) -> str:
                 profile_rows, title="per-profile estimates (timing & variance)"
             )
         )
+
+    batches = [e for e in events if e.get("event") == "batch_done"]
+    if batches:
+        batch_rows = [
+            {
+                "batch": int(b.get("batch_id", -1)),
+                "backend": str(b.get("backend", "?")),
+                "workers": int(b.get("workers", 1)),
+                "jobs": int(b.get("jobs", 0)),
+                "seconds": float(b.get("duration_seconds", 0.0)),
+            }
+            for b in batches
+        ]
+        sections.append(format_table(batch_rows, title="execution batches"))
 
     spans = [e for e in events if e.get("event") == "span"]
     if spans:

@@ -1,0 +1,271 @@
+"""Unit tests for the execution engine: jobs, backends, executor, env plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cascade.estimate import SpreadEstimate
+from repro.cascade.ic import IndependentCascade
+from repro.errors import ExecutionError
+from repro.exec import (
+    BACKENDS,
+    CompetitiveJob,
+    Executor,
+    ProcessBackend,
+    SerialBackend,
+    SimulationJob,
+    SnapshotGainsJob,
+    SpreadJob,
+    ThreadBackend,
+    build_executor,
+    default_executor,
+    make_backend,
+    reset_default_executor,
+    resolve_executor,
+)
+from repro.obs.journal import (
+    RunJournal,
+    attach_journal,
+    detach_journal,
+    read_journal,
+)
+from repro.obs.metrics import counter
+from repro.utils.rng import as_rng, spawn_seed_sequences
+
+
+@pytest.fixture
+def model():
+    return IndependentCascade(0.2)
+
+
+@pytest.fixture
+def jobs(random_graph, model):
+    return [
+        SpreadJob(graph=random_graph, model=model, seeds=(v,), rounds=6)
+        for v in range(5)
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default_executor():
+    reset_default_executor()
+    yield
+    reset_default_executor()
+
+
+class TestSpawnSeedSequences:
+    def test_one_entropy_draw_per_batch(self):
+        a = as_rng(5)
+        b = as_rng(5)
+        spawn_seed_sequences(a, 10)
+        b.integers(0, 2**63 - 1)
+        # Both generators advanced by exactly one draw.
+        assert a.integers(0, 100) == b.integers(0, 100)
+
+    def test_children_deterministic_and_distinct(self):
+        first = spawn_seed_sequences(as_rng(9), 4)
+        second = spawn_seed_sequences(as_rng(9), 4)
+        states_a = [tuple(s.generate_state(4)) for s in first]
+        states_b = [tuple(s.generate_state(4)) for s in second]
+        assert states_a == states_b
+        assert len(set(states_a)) == 4
+
+
+class TestJobs:
+    def test_spread_job_protocol_and_bounds(self, random_graph, model):
+        job = SpreadJob(graph=random_graph, model=model, seeds=(0, 1), rounds=8)
+        assert isinstance(job, SimulationJob)
+        assert job.num_nodes == random_graph.num_nodes
+        (est,) = job.run(as_rng(3))
+        assert est.samples == 8
+        assert 2 <= est.mean <= random_graph.num_nodes
+
+    def test_competitive_job_returns_one_estimate_per_group(
+        self, random_graph, model
+    ):
+        job = CompetitiveJob(
+            graph=random_graph,
+            model=model,
+            seed_sets=((0,), (1,), (2,)),
+            rounds=5,
+        )
+        ests = job.run(as_rng(3))
+        assert len(ests) == 3
+        assert all(e.samples == 5 for e in ests)
+
+    def test_competitive_job_crn_ignores_generator(self, random_graph, model):
+        job = CompetitiveJob(
+            graph=random_graph,
+            model=model,
+            seed_sets=((0, 1), (2, 3)),
+            rounds=4,
+            crn_base=123456,
+        )
+        assert job.run(as_rng(1)) == job.run(as_rng(999))
+
+    def test_snapshot_gains_job_matches_direct_reach(self, random_graph, model):
+        from repro.cascade.reachability import all_reach_sizes
+        from repro.cascade.snapshots import sample_snapshots
+
+        masks = sample_snapshots(random_graph, model, 3, as_rng(11))
+        job = SnapshotGainsJob(graph=random_graph, masks=tuple(masks))
+        ests = job.run(as_rng(0))
+        assert len(ests) == random_graph.num_nodes
+        expected = np.mean(
+            [all_reach_sizes(random_graph, m) for m in masks], axis=0
+        )
+        assert [e.mean for e in ests] == pytest.approx(expected.tolist())
+
+
+class TestBackends:
+    def test_registry_and_factory(self):
+        assert set(BACKENDS) == {"serial", "thread", "process"}
+        assert isinstance(make_backend("serial", None), SerialBackend)
+        assert isinstance(make_backend("thread", 2), ThreadBackend)
+        assert isinstance(make_backend("process", 2), ProcessBackend)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ExecutionError):
+            make_backend("gpu", None)
+
+    def test_invalid_worker_count_raises(self):
+        with pytest.raises(ExecutionError):
+            ThreadBackend(workers=0)
+
+    @pytest.mark.parametrize("name", ["serial", "thread", "process"])
+    def test_map_unordered_covers_all_jobs(self, name, jobs):
+        with Executor(name, workers=2) as ex:
+            outcomes = ex.run(jobs, rng=17)
+        assert [o.index for o in outcomes] == list(range(len(jobs)))
+        for outcome in outcomes:
+            assert outcome.queue_wait_seconds >= 0.0
+            assert outcome.job_seconds >= 0.0
+
+
+class TestExecutor:
+    def test_empty_batch(self):
+        assert Executor("serial").run([], rng=1) == []
+
+    def test_estimates_convenience(self, jobs):
+        ests = Executor("serial").estimates(jobs, rng=5)
+        assert len(ests) == len(jobs)
+        assert all(isinstance(e[0], SpreadEstimate) for e in ests)
+
+    def test_repr_and_properties(self):
+        ex = Executor("thread", workers=3)
+        assert ex.backend_name == "thread"
+        assert ex.workers == 3
+        assert "thread" in repr(ex)
+        ex.close()
+        assert Executor("serial").workers == 1
+
+    def test_close_releases_exit_tracking(self):
+        from repro.exec import executor as executor_module
+
+        ex = Executor("serial")
+        # Unclosed executors are strongly tracked so interpreter-exit
+        # cleanup can shut their pools down synchronously; close() must
+        # release that reference.
+        assert ex in executor_module._LIVE_EXECUTORS
+        ex.close()
+        assert ex not in executor_module._LIVE_EXECUTORS
+
+    def test_accepts_backend_instance(self, jobs):
+        ex = Executor(SerialBackend())
+        assert ex.backend_name == "serial"
+        assert len(ex.run(jobs, rng=2)) == len(jobs)
+
+    def test_metrics_incremented(self, jobs):
+        submitted = counter("exec.jobs_submitted").value
+        completed = counter("exec.jobs_completed").value
+        batches = counter("exec.batches").value
+        Executor("serial").run(jobs, rng=1)
+        assert counter("exec.jobs_submitted").value == submitted + len(jobs)
+        assert counter("exec.jobs_completed").value == completed + len(jobs)
+        assert counter("exec.batches").value == batches + 1
+
+    def test_journal_batch_events(self, tmp_path, jobs):
+        journal = RunJournal(tmp_path / "exec.jsonl")
+        attach_journal(journal)
+        try:
+            Executor("serial").run(jobs, rng=1)
+        finally:
+            detach_journal(journal)
+            journal.close()
+        events = read_journal(tmp_path / "exec.jsonl")
+        types = [e["event"] for e in events]
+        assert types.count("batch_start") == 1
+        assert types.count("batch_done") == 1
+        done = [e for e in events if e["event"] == "batch_done"][0]
+        assert done["jobs"] == len(jobs)
+        assert done["backend"] == "serial"
+        assert done["workers"] == 1
+        assert done["duration_seconds"] >= 0.0
+
+    def test_contracts_reject_garbage_results(self, random_graph, monkeypatch):
+        class LyingJob:
+            num_nodes = random_graph.num_nodes
+
+            def run(self, generator):
+                return (
+                    SpreadEstimate(
+                        mean=float(random_graph.num_nodes + 10),
+                        std=0.0,
+                        samples=1,
+                    ),
+                )
+
+        monkeypatch.setenv("REPRO_CONTRACTS", "1")
+        from repro.lint.contracts import ContractViolation
+
+        with pytest.raises(ContractViolation):
+            Executor("serial").run([LyingJob()], rng=1)
+
+
+class TestEnvPlumbing:
+    def test_build_executor_defaults_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert build_executor().backend_name == "serial"
+
+    def test_build_executor_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "thread")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        ex = build_executor()
+        assert ex.backend_name == "thread"
+        assert ex.workers == 2
+        ex.close()
+
+    def test_explicit_args_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "thread")
+        ex = build_executor("serial")
+        assert ex.backend_name == "serial"
+
+    def test_unknown_env_backend_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "quantum")
+        with pytest.raises(ExecutionError):
+            build_executor()
+
+    def test_bad_env_workers_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ExecutionError):
+            build_executor("thread")
+
+    def test_default_executor_follows_env_changes(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        first = default_executor()
+        assert first.backend_name == "serial"
+        assert default_executor() is first
+        monkeypatch.setenv("REPRO_BACKEND", "thread")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        second = default_executor()
+        assert second is not first
+        assert second.backend_name == "thread"
+        assert second.workers == 2
+
+    def test_resolve_executor(self):
+        ex = Executor("serial")
+        assert resolve_executor(ex) is ex
+        assert resolve_executor(None) is default_executor()

@@ -1,4 +1,4 @@
-"""Per-rule fixture tests for reprolint (RP001–RP005).
+"""Per-rule fixture tests for reprolint (RP001–RP006).
 
 Each rule gets positive snippets (must flag), negative snippets (must stay
 silent), and a suppressed variant (flag silenced by an inline
@@ -24,9 +24,9 @@ def codes(findings):
 
 
 class TestRuleCatalogue:
-    def test_five_rules_with_stable_codes(self):
+    def test_six_rules_with_stable_codes(self):
         assert [r.code for r in ALL_RULES] == [
-            "RP001", "RP002", "RP003", "RP004", "RP005",
+            "RP001", "RP002", "RP003", "RP004", "RP005", "RP006",
         ]
 
     def test_every_rule_carries_metadata(self):
@@ -421,5 +421,145 @@ class TestRP005PublicAPIAnnotations:
             """,
             "core/payoff.py",
             select=["RP005"],
+        )
+        assert found == []
+
+
+class TestRP006NoAdHocSimulationLoops:
+    def test_flags_spread_once_loop(self):
+        found = findings_for(
+            """
+            def estimate(model, graph, seeds, rounds, generator):
+                total = 0
+                for _ in range(rounds):
+                    total += model.spread_once(graph, seeds, generator)
+                return total / rounds
+            """,
+            "core/payoff.py",
+            select=["RP006"],
+        )
+        assert codes(found) == ["RP006"]
+        assert "spread_once" in found[0].message
+
+    def test_flags_spread_once_comprehension(self):
+        found = findings_for(
+            """
+            def estimate(model, graph, seeds, rounds, generator):
+                values = [
+                    model.spread_once(graph, seeds, generator)
+                    for _ in range(rounds)
+                ]
+                return sum(values) / rounds
+            """,
+            "algorithms/sweep.py",
+            select=["RP006"],
+        )
+        assert codes(found) == ["RP006"]
+
+    def test_flags_competitive_engine_loop(self):
+        found = findings_for(
+            """
+            from repro.cascade.competitive import CompetitiveDiffusion
+
+            def follower_spread(graph, model, profile, rounds, generator):
+                engine = CompetitiveDiffusion(graph, model)
+                total = 0.0
+                for _ in range(rounds):
+                    outcome = engine.run(profile, generator)
+                    total += outcome.spread(1)
+                return total / rounds
+            """,
+            "algorithms/follower.py",
+            select=["RP006"],
+        )
+        assert codes(found) == ["RP006"]
+        assert "CompetitiveDiffusion.run" in found[0].message
+
+    def test_flags_engine_stored_on_self(self):
+        found = findings_for(
+            """
+            from repro.cascade.competitive import CompetitiveDiffusion
+
+            class Evaluator:
+                def __init__(self, graph, model):
+                    self.engine = CompetitiveDiffusion(graph, model)
+
+                def average(self, profile, rounds, generator):
+                    total = 0.0
+                    while rounds:
+                        total += self.engine.run(profile, generator).spread(0)
+                        rounds -= 1
+                    return total
+            """,
+            "core/blocking.py",
+            select=["RP006"],
+        )
+        assert codes(found) == ["RP006"]
+
+    def test_allows_single_run_outside_loop(self):
+        found = findings_for(
+            """
+            from repro.cascade.competitive import CompetitiveDiffusion
+
+            def one_shot(graph, model, profile, generator):
+                engine = CompetitiveDiffusion(graph, model)
+                return engine.run(profile, generator)
+            """,
+            "core/metrics.py",
+            select=["RP006"],
+        )
+        assert found == []
+
+    def test_allows_unrelated_run_calls_in_loops(self):
+        found = findings_for(
+            """
+            def drive(tasks, runner):
+                for task in tasks:
+                    runner.run(task)
+            """,
+            "experiments/harness.py",
+            select=["RP006"],
+        )
+        assert found == []
+
+    def test_exec_package_is_exempt(self):
+        found = findings_for(
+            """
+            def run(self, generator):
+                for i in range(self.rounds):
+                    self.values[i] = self.model.spread_once(
+                        self.graph, self.seeds, generator
+                    )
+            """,
+            "exec/jobs.py",
+            select=["RP006"],
+        )
+        assert found == []
+
+    def test_cascade_simulate_is_exempt(self):
+        found = findings_for(
+            """
+            def estimate_spread(graph, model, seeds, rounds, generator):
+                return [
+                    model.spread_once(graph, seeds, generator)
+                    for _ in range(rounds)
+                ]
+            """,
+            "cascade/simulate.py",
+            select=["RP006"],
+        )
+        assert found == []
+
+    def test_suppression(self):
+        found = findings_for(
+            """
+            def estimate(model, graph, seeds, rounds, generator):
+                total = 0
+                for _ in range(rounds):
+                    total += model.spread_once(graph, seeds, generator)  # reprolint: disable=RP006
+                return total / rounds
+            """,
+            "core/payoff.py",
+            select=["RP006"],
         )
         assert found == []

@@ -132,9 +132,18 @@ class TestPipelineInstrumentation:
     def test_cascade_simulations_counted(self, karate):
         from repro.cascade.ic import IndependentCascade
         from repro.cascade.simulate import estimate_competitive_spread
+        from repro.exec import Executor
 
+        # Cascade-level metrics live in whichever process runs the
+        # simulation; pin a serial executor so they land in this registry
+        # regardless of the REPRO_BACKEND the suite runs under.
         estimate_competitive_spread(
-            karate, IndependentCascade(0.2), [[0], [33]], rounds=7, rng=0
+            karate,
+            IndependentCascade(0.2),
+            [[0], [33]],
+            rounds=7,
+            rng=0,
+            executor=Executor("serial"),
         )
         snap = snapshot()
         assert snap["counters"]["cascade.simulations"] == 7
@@ -145,10 +154,16 @@ class TestPipelineInstrumentation:
     def test_seed_collisions_counted(self, karate):
         from repro.cascade.ic import IndependentCascade
         from repro.cascade.simulate import estimate_competitive_spread
+        from repro.exec import Executor
 
         # Identical seed sets: every seed is contested in every simulation.
         estimate_competitive_spread(
-            karate, IndependentCascade(0.2), [[0, 1], [0, 1]], rounds=3, rng=0
+            karate,
+            IndependentCascade(0.2),
+            [[0, 1], [0, 1]],
+            rounds=3,
+            rng=0,
+            executor=Executor("serial"),
         )
         assert snapshot()["counters"]["cascade.seed_collisions"] == 6
 
