@@ -50,10 +50,12 @@ class _SnapshotGreedyBase(SeedSelector):
         model: CascadeModel,
         num_snapshots: int = 100,
         executor: Executor | None = None,
+        kernel: str | None = None,
     ) -> None:
         self.model = model
         self.num_snapshots = check_positive_int(num_snapshots, "num_snapshots")
         self.executor = executor
+        self.kernel = kernel
 
     def _initial_gains(
         self, graph: DiGraph, oracle: SnapshotOracle
@@ -81,7 +83,7 @@ class _SnapshotGreedyBase(SeedSelector):
         k = self._check_budget(graph, k)
         generator = as_rng(rng)
         masks = sample_snapshots(graph, self.model, self.num_snapshots, generator)
-        oracle = SnapshotOracle(graph, masks)
+        oracle = SnapshotOracle(graph, masks, kernel=self.kernel)
 
         gains = self._initial_gains(graph, oracle)
         # CELF heap: (-gain, node, iteration the gain was computed at).
@@ -118,8 +120,9 @@ class MixGreedy(_SnapshotGreedyBase):
         model: CascadeModel,
         num_snapshots: int = 100,
         executor: Executor | None = None,
+        kernel: str | None = None,
     ) -> None:
-        super().__init__(model, num_snapshots, executor)
+        super().__init__(model, num_snapshots, executor, kernel)
         self.name = f"mg{model.name}"
 
 
@@ -137,6 +140,7 @@ class CELFGreedy(_SnapshotGreedyBase):
         model: CascadeModel,
         num_snapshots: int = 100,
         executor: Executor | None = None,
+        kernel: str | None = None,
     ) -> None:
-        super().__init__(model, num_snapshots, executor)
+        super().__init__(model, num_snapshots, executor, kernel)
         self.name = f"celf{model.name}"

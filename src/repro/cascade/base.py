@@ -29,7 +29,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.errors import CascadeError
+from repro.cascade.kernels import simulate_cascade
 from repro.graphs.digraph import DiGraph
 from repro.utils.rng import RandomSource, as_rng
 
@@ -55,44 +55,28 @@ class CascadeModel(ABC):
         graph: DiGraph,
         seeds: Sequence[int],
         rng: RandomSource = None,
+        kernel: str | None = None,
     ) -> np.ndarray:
         """One diffusion from *seeds*; returns the active-node boolean array.
 
         Default implementation is the standard cascade process: each newly
         activated node gets a single chance to activate each inactive
-        out-neighbour with the model's edge probability.
+        out-neighbour with the model's edge probability.  *kernel* selects
+        the inner loop (see :mod:`repro.cascade.kernels`).
         """
         generator = as_rng(rng)
         probs = self.edge_probabilities(graph)
-        active = np.zeros(graph.num_nodes, dtype=bool)
-        frontier: list[int] = []
-        for s in seeds:
-            if not 0 <= s < graph.num_nodes:
-                raise CascadeError(f"seed {s} out of range [0, {graph.num_nodes})")
-            if not active[s]:
-                active[s] = True
-                frontier.append(int(s))
-
-        while frontier:
-            next_frontier: list[int] = []
-            for u in frontier:
-                nbrs = graph.out_neighbors(u)
-                if nbrs.size == 0:
-                    continue
-                eids = graph.out_edge_ids(u)
-                hits = generator.random(nbrs.size) < probs[eids]
-                for v in nbrs[hits]:
-                    if not active[v]:
-                        active[v] = True
-                        next_frontier.append(int(v))
-            frontier = next_frontier
-        return active
+        return simulate_cascade(graph, probs, seeds, generator, kernel=kernel)
 
     def spread_once(
-        self, graph: DiGraph, seeds: Sequence[int], rng: RandomSource = None
+        self,
+        graph: DiGraph,
+        seeds: Sequence[int],
+        rng: RandomSource = None,
+        kernel: str | None = None,
     ) -> int:
         """Convenience: number of nodes activated in a single simulation."""
-        return int(self.simulate(graph, seeds, rng).sum())
+        return int(self.simulate(graph, seeds, rng, kernel=kernel).sum())
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

@@ -24,6 +24,10 @@ that define per-edge success probabilities (IC, WC, and any heterogeneous-p
 variant) run through the cascade path; :class:`LinearThreshold` runs through
 a threshold path where a node is claimed in proportion to each group's share
 of the accumulated in-neighbour weight.
+
+The per-round inner loops live in :mod:`repro.cascade.kernels`, selected by
+the engine's ``kernel`` argument (``"python"`` reference walk or the
+frontier-batched ``"numpy"`` vectorization).
 """
 
 from __future__ import annotations
@@ -35,6 +39,12 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.cascade.base import CascadeModel
+from repro.cascade.kernels import (
+    ClaimRule,
+    resolve_kernel,
+    run_competitive_cascade,
+    run_competitive_threshold,
+)
 from repro.cascade.lt import LinearThreshold
 from repro.errors import CascadeError
 from repro.graphs.digraph import DiGraph
@@ -42,13 +52,20 @@ from repro.lint import contracts
 from repro.obs.metrics import Histogram, counter, histogram
 from repro.utils.rng import RandomSource, as_rng
 
+__all__ = [
+    "ClaimRule",
+    "CompetitiveDiffusion",
+    "CompetitiveOutcome",
+    "TieBreakRule",
+    "assign_initiators",
+]
+
 # Cached instrument handles: incremented once per simulation (or round), so
 # the per-simulation overhead is a handful of attribute updates (RP004).
 _SIMULATIONS = counter("cascade.simulations")
 _ROUNDS = counter("cascade.rounds")
 _NODES_ACTIVATED = counter("cascade.nodes_activated")
 _SEED_COLLISIONS = counter("cascade.seed_collisions")
-_FRONTIER_SIZE = histogram("cascade.frontier_size")
 
 # Per-group spread histograms have dynamic names ("cascade.group1.spread"…),
 # so they are memoized here instead of re-resolved — and re-formatted — on
@@ -73,15 +90,6 @@ class TieBreakRule(enum.Enum):
     #: Weighted by each selecting group's count of uncontested seeds
     #: (a realizable stand-in for the Goyal–Kearns proportional rule).
     PROPORTIONAL = "proportional"
-
-
-class ClaimRule(enum.Enum):
-    """How an activated node is attributed to one of the attacking groups."""
-
-    #: Probability ``t_j / Σt_j`` (the paper's rule).
-    PROPORTIONAL = "proportional"
-    #: The group with the most attempts wins; ties broken uniformly.
-    WINNER_TAKE_ALL = "winner_take_all"
 
 
 @dataclass
@@ -215,6 +223,9 @@ class CompetitiveDiffusion:
         Seed-collision rule (see :class:`TieBreakRule`).
     claim_rule:
         Node-attribution rule (see :class:`ClaimRule`).
+    kernel:
+        Diffusion kernel (``"python"`` or ``"numpy"``); ``None`` falls back
+        to ``REPRO_KERNEL`` — see :mod:`repro.cascade.kernels`.
     """
 
     def __init__(
@@ -223,11 +234,13 @@ class CompetitiveDiffusion:
         model: CascadeModel,
         tie_break: TieBreakRule = TieBreakRule.UNIFORM,
         claim_rule: ClaimRule = ClaimRule.PROPORTIONAL,
+        kernel: str | None = None,
     ) -> None:
         self.graph = graph
         self.model = model
         self.tie_break = tie_break
         self.claim_rule = claim_rule
+        self.kernel = resolve_kernel(kernel)
         self._edge_probs: np.ndarray | None = None
 
     def _probs(self) -> np.ndarray:
@@ -251,9 +264,18 @@ class CompetitiveDiffusion:
             self.graph.num_nodes, seed_sets, self.tie_break, generator
         )
         if isinstance(self.model, LinearThreshold):
-            owner, rounds, when = self._run_threshold(initiators, generator)
+            owner, rounds, when = run_competitive_threshold(
+                self.graph, initiators, self.claim_rule, generator, self.kernel
+            )
         else:
-            owner, rounds, when = self._run_cascade(initiators, generator)
+            owner, rounds, when = run_competitive_cascade(
+                self.graph,
+                self._probs(),
+                initiators,
+                self.claim_rule,
+                generator,
+                self.kernel,
+            )
         outcome = CompetitiveOutcome(
             owner=owner,
             initiators=initiators,
@@ -270,119 +292,3 @@ class CompetitiveDiffusion:
         for j in range(outcome.num_groups):
             _group_spread_histogram(j).observe(float(spreads[j]))
         return outcome
-
-    # ------------------------------------------------------------------ #
-    # cascade path (IC / WC / heterogeneous-probability models)
-    # ------------------------------------------------------------------ #
-
-    def _claim(
-        self,
-        counts: np.ndarray,
-        generator: np.random.Generator,
-    ) -> int:
-        """Pick the claiming group given per-group attempt counts."""
-        total = counts.sum()
-        if self.claim_rule is ClaimRule.PROPORTIONAL:
-            return int(generator.choice(counts.shape[0], p=counts / total))
-        best = counts.max()
-        winners = np.flatnonzero(counts == best)
-        return int(winners[generator.integers(0, winners.shape[0])])
-
-    def _run_cascade(
-        self,
-        initiators: Sequence[Sequence[int]],
-        generator: np.random.Generator,
-    ) -> tuple[np.ndarray, int, np.ndarray]:
-        graph = self.graph
-        probs = self._probs()
-        r = len(initiators)
-        owner = np.full(graph.num_nodes, -1, dtype=np.int64)
-        when = np.zeros(graph.num_nodes, dtype=np.int64)
-        frontiers: list[list[int]] = []
-        for j, nodes in enumerate(initiators):
-            for v in nodes:
-                owner[v] = j
-            frontiers.append(list(nodes))
-
-        rounds = 0
-        while any(frontiers):
-            rounds += 1
-            # attempts[v] = (per-group counts, running product of (1 - p)).
-            attempts: dict[int, tuple[np.ndarray, float]] = {}
-            for j in range(r):
-                for u in frontiers[j]:
-                    nbrs = graph.out_neighbors(u)
-                    if nbrs.size == 0:
-                        continue
-                    eids = graph.out_edge_ids(u)
-                    for v, eid in zip(nbrs, eids):
-                        if owner[v] >= 0:
-                            continue
-                        counts, survive = attempts.get(
-                            int(v), (np.zeros(r, dtype=np.int64), 1.0)
-                        )
-                        counts[j] += 1
-                        attempts[int(v)] = (counts, survive * (1.0 - probs[eid]))
-
-            next_frontiers: list[list[int]] = [[] for _ in range(r)]
-            for v, (counts, survive) in attempts.items():
-                # Combined activation probability: 1 - Π(1 - p_e) over all
-                # attempting edges; equals 1 - (1 - p)^T for uniform p,
-                # the paper's Section 3.2 formula.
-                if generator.random() < 1.0 - survive:
-                    winner = self._claim(counts.astype(float), generator)
-                    owner[v] = winner
-                    when[v] = rounds
-                    next_frontiers[winner].append(v)
-            frontiers = next_frontiers
-            _FRONTIER_SIZE.observe(sum(len(f) for f in frontiers))
-        return owner, rounds, when
-
-    # ------------------------------------------------------------------ #
-    # threshold path (LT)
-    # ------------------------------------------------------------------ #
-
-    def _run_threshold(
-        self,
-        initiators: Sequence[Sequence[int]],
-        generator: np.random.Generator,
-    ) -> tuple[np.ndarray, int, np.ndarray]:
-        graph = self.graph
-        n = graph.num_nodes
-        r = len(initiators)
-        thresholds = generator.random(n)
-        weight_in = 1.0 / np.maximum(graph.in_degrees().astype(float), 1.0)
-
-        owner = np.full(n, -1, dtype=np.int64)
-        when = np.zeros(n, dtype=np.int64)
-        pressure = np.zeros((n, r))
-        frontiers: list[list[int]] = []
-        for j, nodes in enumerate(initiators):
-            for v in nodes:
-                owner[v] = j
-            frontiers.append(list(nodes))
-
-        rounds = 0
-        while any(frontiers):
-            rounds += 1
-            touched: set[int] = set()
-            for j in range(r):
-                for u in frontiers[j]:
-                    for v in graph.out_neighbors(u):
-                        if owner[v] < 0:
-                            pressure[v, j] += weight_in[v]
-                            touched.add(int(v))
-
-            next_frontiers: list[list[int]] = [[] for _ in range(r)]
-            for v in touched:
-                total = pressure[v].sum()
-                if total >= thresholds[v]:
-                    # Claim in proportion to each group's share of the
-                    # accumulated weight (the LT analogue of t_j / Σt_j).
-                    winner = self._claim(pressure[v].copy(), generator)
-                    owner[v] = winner
-                    when[v] = rounds
-                    next_frontiers[winner].append(v)
-            frontiers = next_frontiers
-            _FRONTIER_SIZE.observe(sum(len(f) for f in frontiers))
-        return owner, rounds, when

@@ -106,7 +106,13 @@ class GeneralThreshold(CascadeModel):
         graph: DiGraph,
         seeds: Sequence[int],
         rng: RandomSource = None,
+        kernel: str | None = None,
     ) -> np.ndarray:
+        """One general-threshold diffusion.
+
+        Arbitrary activation functions have no vectorized kernel; the
+        reference walk below runs regardless of *kernel*.
+        """
         generator = as_rng(rng)
         n = graph.num_nodes
         thresholds = generator.random(n)
@@ -127,7 +133,8 @@ class GeneralThreshold(CascadeModel):
             next_frontier: list[int] = []
             touched: set[int] = set()
             for u in frontier:
-                for v in graph.out_neighbors(u):
+                # general activation functions: no vectorized kernel form
+                for v in graph.out_neighbors(u):  # reprolint: disable=RP007
                     if not active[v]:
                         active_in_count[v] += 1
                         touched.add(int(v))

@@ -57,8 +57,13 @@ class NegativeAwareCascade(CascadeModel):
         graph: DiGraph,
         seeds: Sequence[int],
         rng: RandomSource = None,
+        kernel: str | None = None,
     ) -> np.ndarray:
-        """One IC-N diffusion; returns the **positive** adopter indicator."""
+        """One IC-N diffusion; returns the **positive** adopter indicator.
+
+        IC-N's per-node quality sampling has no vectorized kernel; the
+        reference walk below runs regardless of *kernel*.
+        """
         generator = as_rng(rng)
         n = graph.num_nodes
         # state: 0 inactive, 1 positive, 2 negative.
@@ -76,7 +81,8 @@ class NegativeAwareCascade(CascadeModel):
             next_frontier: list[int] = []
             for u in frontier:
                 negative_parent = state[u] == 2
-                nbrs = graph.out_neighbors(u)
+                # IC-N's per-node quality draw: no vectorized kernel form
+                nbrs = graph.out_neighbors(u)  # reprolint: disable=RP007
                 if nbrs.size == 0:
                     continue
                 hits = generator.random(nbrs.size) < self.probability
@@ -115,7 +121,8 @@ class NegativeAwareCascade(CascadeModel):
             next_frontier: list[int] = []
             for u in frontier:
                 negative_parent = state[u] == 2
-                nbrs = graph.out_neighbors(u)
+                # IC-N's per-node quality draw: no vectorized kernel form
+                nbrs = graph.out_neighbors(u)  # reprolint: disable=RP007
                 if nbrs.size == 0:
                     continue
                 hits = generator.random(nbrs.size) < self.probability

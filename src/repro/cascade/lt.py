@@ -17,7 +17,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.cascade.base import CascadeModel
-from repro.errors import CascadeError
+from repro.cascade.kernels import simulate_threshold
 from repro.graphs.digraph import DiGraph
 from repro.utils.rng import RandomSource, as_rng
 
@@ -64,35 +64,13 @@ class LinearThreshold(CascadeModel):
         graph: DiGraph,
         seeds: Sequence[int],
         rng: RandomSource = None,
+        kernel: str | None = None,
     ) -> np.ndarray:
+        """One LT diffusion; thresholds are drawn up front, then the
+        pressure sweep runs in the selected kernel
+        (:func:`repro.cascade.kernels.simulate_threshold`)."""
         generator = as_rng(rng)
-        n = graph.num_nodes
-        thresholds = generator.random(n)
-        in_deg = graph.in_degrees().astype(float)
-        weight_in = 1.0 / np.maximum(in_deg, 1.0)
-
-        active = np.zeros(n, dtype=bool)
-        pressure = np.zeros(n)  # summed weight of active in-neighbours
-        frontier: list[int] = []
-        for s in seeds:
-            if not 0 <= s < n:
-                raise CascadeError(f"seed {s} out of range [0, {n})")
-            if not active[s]:
-                active[s] = True
-                frontier.append(int(s))
-
-        while frontier:
-            next_frontier: list[int] = []
-            for u in frontier:
-                for v in graph.out_neighbors(u):
-                    if active[v]:
-                        continue
-                    pressure[v] += weight_in[v]
-                    if pressure[v] >= thresholds[v]:
-                        active[v] = True
-                        next_frontier.append(int(v))
-            frontier = next_frontier
-        return active
+        return simulate_threshold(graph, seeds, generator, kernel=kernel)
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, LinearThreshold)

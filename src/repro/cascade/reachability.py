@@ -88,9 +88,11 @@ def all_reach_sizes(graph: DiGraph, edge_mask: np.ndarray | None = None) -> np.n
     # Materialize the (masked) adjacency once.
     adj: list[np.ndarray] = []
     for u in range(n):
-        nbrs = graph.out_neighbors(u)
+        # one-shot adjacency materialization for the SCC DP (not a
+        # frontier walk; the DP itself is vectorized per component)
+        nbrs = graph.out_neighbors(u)  # reprolint: disable=RP007
         if edge_mask is not None and nbrs.size:
-            nbrs = nbrs[edge_mask[graph.out_edge_ids(u)]]
+            nbrs = nbrs[edge_mask[graph.out_edge_ids(u)]]  # reprolint: disable=RP007
         adj.append(nbrs)
 
     comp, num_comps = _tarjan_scc(n, adj)

@@ -16,6 +16,12 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.cascade.base import CascadeModel
+from repro.cascade.kernels import (
+    absorb_reachable,
+    count_new_reachable,
+    reachable_mask,
+    resolve_kernel,
+)
 from repro.errors import CascadeError
 from repro.graphs.digraph import DiGraph
 from repro.utils.rng import RandomSource, as_rng
@@ -42,9 +48,18 @@ class SnapshotOracle:
     seed set, and :meth:`marginal_gain` counts only *newly* reachable nodes,
     stopping its BFS at already-reached nodes (in a live-edge world,
     everything reachable from a reached node is itself already reached).
+
+    *kernel* selects the sweep implementation — the python BFS or the
+    mask-filtered CSR frontier sweep (see :mod:`repro.cascade.kernels`);
+    both visit the same nodes, so oracle results are kernel-independent.
     """
 
-    def __init__(self, graph: DiGraph, masks: Sequence[np.ndarray]) -> None:
+    def __init__(
+        self,
+        graph: DiGraph,
+        masks: Sequence[np.ndarray],
+        kernel: str | None = None,
+    ) -> None:
         if not masks:
             raise CascadeError("at least one snapshot mask is required")
         for mask in masks:
@@ -55,6 +70,7 @@ class SnapshotOracle:
                 )
         self.graph = graph
         self.masks = list(masks)
+        self.kernel = resolve_kernel(kernel)
 
     @property
     def num_snapshots(self) -> int:
@@ -64,62 +80,28 @@ class SnapshotOracle:
         """Average number of nodes reachable from *seeds* over all snapshots."""
         total = 0
         for mask in self.masks:
-            total += int(self.graph.reachable_from(seeds, mask).sum())
+            total += int(
+                reachable_mask(self.graph, seeds, mask, kernel=self.kernel).sum()
+            )
         return total / len(self.masks)
 
     def reach(self, seeds: Sequence[int]) -> list[np.ndarray]:
         """Per-snapshot boolean reached arrays for *seeds*."""
-        return [self.graph.reachable_from(seeds, mask) for mask in self.masks]
+        return [
+            reachable_mask(self.graph, seeds, mask, kernel=self.kernel)
+            for mask in self.masks
+        ]
 
     def extend_reach(self, reached: list[np.ndarray], new_seed: int) -> None:
         """Mutate *reached* in place to include everything reachable from *new_seed*."""
         for mask, already in zip(self.masks, reached):
-            self._absorb(mask, new_seed, already)
+            absorb_reachable(self.graph, mask, new_seed, already, kernel=self.kernel)
 
     def marginal_gain(self, candidate: int, reached: list[np.ndarray]) -> float:
         """Average count of nodes newly reached by adding *candidate*."""
         total = 0
         for mask, already in zip(self.masks, reached):
-            total += self._count_new(mask, candidate, already)
+            total += count_new_reachable(
+                self.graph, mask, candidate, already, kernel=self.kernel
+            )
         return total / len(self.masks)
-
-    # ------------------------------------------------------------------ #
-
-    def _count_new(self, mask: np.ndarray, start: int, reached: np.ndarray) -> int:
-        """Nodes reachable from *start* that are not in *reached* (no mutation)."""
-        if reached[start]:
-            return 0
-        graph = self.graph
-        visited = {int(start)}
-        stack = [int(start)]
-        count = 0
-        while stack:
-            u = stack.pop()
-            count += 1
-            lo, hi = graph.out_indptr[u], graph.out_indptr[u + 1]
-            nbrs = graph.out_indices[lo:hi]
-            live = mask[graph.out_edge_ids(u)]
-            for v in nbrs[live]:
-                v = int(v)
-                if v not in visited and not reached[v]:
-                    visited.add(v)
-                    stack.append(v)
-        return count
-
-    def _absorb(self, mask: np.ndarray, start: int, reached: np.ndarray) -> None:
-        """Mark everything reachable from *start* in *reached* (mutates)."""
-        if reached[start]:
-            return
-        graph = self.graph
-        reached[start] = True
-        stack = [int(start)]
-        while stack:
-            u = stack.pop()
-            lo, hi = graph.out_indptr[u], graph.out_indptr[u + 1]
-            nbrs = graph.out_indices[lo:hi]
-            live = mask[graph.out_edge_ids(u)]
-            for v in nbrs[live]:
-                v = int(v)
-                if not reached[v]:
-                    reached[v] = True
-                    stack.append(v)

@@ -16,8 +16,9 @@ Every graph-taking command accepts the observability flags
 ``--log-level``/``--log-json`` (structured logging on stderr) and
 ``--journal PATH`` (append typed JSONL events to *PATH*), plus the
 execution flags ``--backend {serial,thread,process}`` / ``--workers N``
-selecting the simulation backend (defaults come from ``REPRO_BACKEND`` /
-``REPRO_WORKERS``; results are bit-identical across backends for a fixed
+selecting the simulation backend and ``--kernel {python,numpy}`` selecting
+the diffusion kernel (defaults come from ``REPRO_BACKEND`` /
+``REPRO_WORKERS`` / ``REPRO_KERNEL``; results are bit-identical across backends for a fixed
 seed).
 
 Examples::
@@ -36,8 +37,11 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 import time
+from collections.abc import Iterator
 from pathlib import Path
 
 from repro.algorithms import get_algorithm, registered_algorithms
@@ -46,6 +50,7 @@ from repro.core.getreal import get_real
 from repro.core.metrics import jaccard
 from repro.core.strategy import StrategySpace
 from repro.errors import JournalError
+from repro.cascade.kernels import KERNELS
 from repro.exec.backends import BACKENDS
 from repro.exec.executor import Executor, build_executor
 from repro.graphs.datasets import DATASETS, get_dataset
@@ -135,6 +140,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="worker count for pooled backends (default: $REPRO_WORKERS)",
     )
+    parser.add_argument(
+        "--kernel",
+        choices=sorted(KERNELS),
+        default=None,
+        help="diffusion kernel (default: $REPRO_KERNEL or python)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -204,11 +215,34 @@ def build_parser() -> argparse.ArgumentParser:
     journal.add_argument("file", help="path to a .jsonl run journal")
 
     lint = sub.add_parser(
-        "lint", help="run the reprolint static-analysis rules (RP001-RP006)"
+        "lint", help="run the reprolint static-analysis rules (RP001-RP007)"
     )
     add_lint_arguments(lint)
 
     return parser
+
+
+@contextlib.contextmanager
+def _kernel_override(kernel: str | None) -> Iterator[None]:
+    """Export ``--kernel`` as ``REPRO_KERNEL`` for the command's duration.
+
+    The flag is passed explicitly to the estimators, but strategies built
+    inside the command (e.g. MixGreedy's snapshot oracle) resolve the
+    kernel through the environment — exporting keeps the whole command on
+    one kernel.  Restored on exit so in-process callers see no side effect.
+    """
+    if kernel is None:
+        yield
+        return
+    previous = os.environ.get("REPRO_KERNEL")
+    os.environ["REPRO_KERNEL"] = kernel
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_KERNEL", None)
+        else:
+            os.environ["REPRO_KERNEL"] = previous
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -229,35 +263,38 @@ def main(argv: list[str] | None = None) -> int:
         configure_logging(args.log_level, json=args.log_json)
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
-    journal = RunJournal(args.journal) if args.journal else None
-    if journal is None:
-        return _run_command(args)
-    # get_real journals its own run span; for every other command the CLI
-    # brackets the invocation so the journal is never event-less.
-    wrap_run = args.command != "getreal"
-    attach_journal(journal)
-    started = time.perf_counter()
-    if wrap_run:
-        journal.run_start(args.command, argv=[str(a) for a in (argv or sys.argv[1:])])
-    try:
-        code = _run_command(args)
-    except BaseException as exc:
+    with _kernel_override(args.kernel):
+        journal = RunJournal(args.journal) if args.journal else None
+        if journal is None:
+            return _run_command(args)
+        # get_real journals its own run span; for every other command the CLI
+        # brackets the invocation so the journal is never event-less.
+        wrap_run = args.command != "getreal"
+        attach_journal(journal)
+        started = time.perf_counter()
         if wrap_run:
-            journal.run_end(
-                status="error",
-                duration_seconds=time.perf_counter() - started,
-                error=f"{type(exc).__name__}: {exc}",
+            journal.run_start(
+                args.command, argv=[str(a) for a in (argv or sys.argv[1:])]
             )
-        raise
-    else:
-        if wrap_run:
-            journal.run_end(
-                status="ok", duration_seconds=time.perf_counter() - started
-            )
-        return code
-    finally:
-        detach_journal(journal)
-        journal.close()
+        try:
+            code = _run_command(args)
+        except BaseException as exc:
+            if wrap_run:
+                journal.run_end(
+                    status="error",
+                    duration_seconds=time.perf_counter() - started,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            raise
+        else:
+            if wrap_run:
+                journal.run_end(
+                    status="ok", duration_seconds=time.perf_counter() - started
+                )
+            return code
+        finally:
+            detach_journal(journal)
+            journal.close()
 
 
 def _run_command(args: argparse.Namespace) -> int:
@@ -296,7 +333,13 @@ def _dispatch(args: argparse.Namespace, graph: DiGraph, executor: Executor) -> i
         model = _model(args.model, args.probability)
         selected = algo.select(graph, args.k, rng=args.seed)
         est = estimate_spread(
-            graph, model, selected, args.rounds, rng=args.seed, executor=executor
+            graph,
+            model,
+            selected,
+            args.rounds,
+            rng=args.seed,
+            executor=executor,
+            kernel=args.kernel,
         )
         print(
             f"{algo.name} @k={args.k} under {args.model}: "
@@ -314,7 +357,13 @@ def _dispatch(args: argparse.Namespace, graph: DiGraph, executor: Executor) -> i
         s1 = first.select(graph, args.k, rng=args.seed)
         s2 = second.select(graph, args.k, rng=args.seed + 1)
         ests = estimate_competitive_spread(
-            graph, model, [s1, s2], args.rounds, rng=args.seed, executor=executor
+            graph,
+            model,
+            [s1, s2],
+            args.rounds,
+            rng=args.seed,
+            executor=executor,
+            kernel=args.kernel,
         )
         print(
             format_table(
@@ -353,6 +402,7 @@ def _dispatch(args: argparse.Namespace, graph: DiGraph, executor: Executor) -> i
             candidate_pool=args.pool,
             rng=args.seed,
             executor=executor,
+            kernel=args.kernel,
         )
         print(f"rival ({rival_algo.name}, k={args.rival_k}) spread without "
               f"blockers: {result.rival_spread_before:.2f}")
@@ -377,6 +427,7 @@ def _dispatch(args: argparse.Namespace, graph: DiGraph, executor: Executor) -> i
         rounds=args.rounds,
         rng=args.seed,
         executor=executor,
+        kernel=args.kernel,
     )
     print(format_table(result.payoff_table.rows(), title="estimated payoffs"))
     print()

@@ -71,6 +71,7 @@ def _blocking_job(
     blockers: Sequence[int],
     rounds: int,
     crn_base: int,
+    kernel: str | None = None,
 ) -> CompetitiveJob:
     """Rival-vs-blockers evaluation as a CRN-paired competitive job."""
     rival = tuple(int(s) for s in rival_seeds)
@@ -84,6 +85,7 @@ def _blocking_job(
         rounds=rounds,
         crn_base=crn_base,
         crn_step=BLOCKING_CRN_STEP,
+        kernel=kernel,
     )
 
 
@@ -96,6 +98,7 @@ def select_blockers(
     candidate_pool: int = 100,
     rng: RandomSource = None,
     executor: Executor | None = None,
+    kernel: str | None = None,
 ) -> BlockingResult:
     """Greedy blocker selection minimizing the rival's competitive spread.
 
@@ -132,14 +135,16 @@ def select_blockers(
             f"only {len(candidates)} candidates available for budget k={k}"
         )
 
-    baseline_job = _blocking_job(graph, model, rival, [], rounds, crn_base)
+    baseline_job = _blocking_job(graph, model, rival, [], rounds, crn_base, kernel)
     baseline = runner.estimates([baseline_job], rng=generator)[0][0].mean
 
     blockers: list[int] = []
     for _ in range(k):
         remaining = [c for c in candidates if c not in blockers]
         jobs = [
-            _blocking_job(graph, model, rival, blockers + [c], rounds, crn_base)
+            _blocking_job(
+                graph, model, rival, blockers + [c], rounds, crn_base, kernel
+            )
             for c in remaining
         ]
         results = runner.estimates(jobs, rng=generator)
@@ -152,7 +157,7 @@ def select_blockers(
                 best_candidate = c
         blockers.append(best_candidate)
 
-    final_job = _blocking_job(graph, model, rival, blockers, rounds, crn_base)
+    final_job = _blocking_job(graph, model, rival, blockers, rounds, crn_base, kernel)
     final = runner.estimates([final_job], rng=generator)[0]
     return BlockingResult(
         blockers=blockers,

@@ -28,6 +28,7 @@ import numpy as np
 from repro.algorithms.base import SeedSelector
 from repro.cascade.base import CascadeModel
 from repro.cascade.competitive import ClaimRule, TieBreakRule
+from repro.cascade.kernels import resolve_kernel
 from repro.core.payoff import PayoffTable, estimate_payoff_table
 from repro.core.strategy import MixedStrategy, StrategySpace
 from repro.exec.executor import Executor
@@ -188,6 +189,7 @@ def get_real(
     claim_rule: ClaimRule = ClaimRule.PROPORTIONAL,
     journal: RunJournal | None = None,
     executor: Executor | None = None,
+    kernel: str | None = None,
 ) -> GetRealResult:
     """Run the full GetReal pipeline: estimate payoffs, then find the NE.
 
@@ -231,6 +233,7 @@ def get_real(
             seed_draws=seed_draws,
             tie_break=tie_break.value,
             claim_rule=claim_rule.value,
+            kernel=resolve_kernel(kernel),
         )
     try:
         table = estimate_payoff_table(
@@ -246,6 +249,7 @@ def get_real(
             claim_rule=claim_rule,
             journal=sink,
             executor=executor,
+            kernel=kernel,
         )
         result = solve_strategy_game(table.to_game(), space, payoff_table=table)
     except Exception as exc:

@@ -12,7 +12,8 @@ group.  Two sources of randomness are integrated over:
 
 ``seed_draws`` controls how many independent seed-set draws are averaged;
 ``rounds`` is the total number of diffusion simulations per profile, split
-evenly across the draws.
+as evenly as possible across the draws (the first ``rounds % seed_draws``
+draws run one extra simulation, so all *rounds* simulations always run).
 
 All ``z^r x seed_draws`` profile simulations are independent, so they are
 fanned out as **one batch** through the execution engine: seed sets are
@@ -121,15 +122,19 @@ def estimate_payoff_table(
     claim_rule: ClaimRule = ClaimRule.PROPORTIONAL,
     journal: RunJournal | None = None,
     executor: Executor | None = None,
+    kernel: str | None = None,
 ) -> PayoffTable:
     """Estimate the full payoff table for *num_groups* groups over *space*.
 
     Every profile in ``Φ^r`` is simulated; for games of GetReal scale
     (``z, r ≤ 3``) this is at most 27 profiles.  Per profile, *rounds*
-    competitive diffusions are run, split evenly over *seed_draws*
-    independent seed-set draws per (group, strategy) pair.  The
-    ``seed_draws x z^r`` cells are submitted to *executor* (or the
-    env-configured default) as a single batch.
+    competitive diffusions are run, split as evenly as possible over
+    *seed_draws* independent seed-set draws per (group, strategy) pair —
+    when ``rounds % seed_draws != 0`` the first ``rounds % seed_draws``
+    draws run one extra simulation, so exactly *rounds* simulations run
+    per profile.  The ``seed_draws x z^r`` cells are submitted to
+    *executor* (or the env-configured default) as a single batch, each
+    running the diffusion *kernel* (``None``: ``REPRO_KERNEL`` fallback).
 
     When *journal* is given (or a journal is attached via
     :func:`repro.obs.attach_journal`), a ``profile_start`` event is
@@ -147,7 +152,14 @@ def estimate_payoff_table(
         )
     generator = as_rng(rng)
     z = space.size
-    rounds_per_draw = rounds // seed_draws
+    # Distribute rounds over draws without silently dropping the remainder:
+    # draws 0..remainder-1 run one extra simulation each, so the per-profile
+    # simulation count is exactly ``rounds`` for any seed_draws.
+    rounds_per_draw, remainder = divmod(rounds, seed_draws)
+    draw_rounds = [
+        rounds_per_draw + (1 if draw < remainder else 0)
+        for draw in range(seed_draws)
+    ]
     sink = journal if journal is not None else current_journal()
     _LOG.info(
         "estimating payoff table: z=%d strategies, r=%d groups, "
@@ -189,9 +201,10 @@ def estimate_payoff_table(
                         tuple(int(s) for s in seed_sets[i][profile[i]])
                         for i in range(r)
                     ),
-                    rounds=rounds_per_draw,
+                    rounds=draw_rounds[draw],
                     tie_break=tie_break,
                     claim_rule=claim_rule,
+                    kernel=kernel,
                 )
             )
             job_cells.append((draw, profile))
@@ -201,10 +214,8 @@ def estimate_payoff_table(
     # via ``__add__`` equals estimating from the concatenated samples).
     accumulated: dict[tuple[int, ...], list[SpreadEstimate]] = {}
     durations: dict[tuple[int, ...], float] = {}
-    for (draw, profile), outcome in zip(job_cells, outcomes):
+    for (_draw, profile), outcome in zip(job_cells, outcomes):
         ests = outcome.estimates
-        _PROFILES.inc()
-        _PROFILE_SECONDS.observe(outcome.job_seconds)
         durations[profile] = durations.get(profile, 0.0) + outcome.job_seconds
         if profile in accumulated:
             accumulated[profile] = [
@@ -216,6 +227,10 @@ def estimate_payoff_table(
     for profile in profiles:
         pooled = accumulated[profile]
         labels = [space[a].name for a in profile]
+        # Once per pooled profile (not per (draw, profile) job), so the
+        # counter reports z^r regardless of seed_draws.
+        _PROFILES.inc()
+        _PROFILE_SECONDS.observe(durations[profile])
         if contracts.enabled():
             contracts.check_spreads(
                 [est.mean for est in pooled], graph.num_nodes, "mean spreads"
@@ -252,6 +267,6 @@ def estimate_payoff_table(
         num_groups=r,
         k=k,
         estimates=estimates,
-        rounds=rounds_per_draw * seed_draws,
+        rounds=rounds,
         seed_draws=seed_draws,
     )

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from collections.abc import Sequence
 
 from repro.cascade.estimate import SpreadEstimate
+from repro.cascade.kernels import KERNELS, resolve_kernel
 from repro.errors import ExecutionError
 from repro.exec.backends import (
     BACKENDS,
@@ -60,8 +61,24 @@ _JOBS_COMPLETED = counter("exec.jobs_completed")
 _QUEUE_WAIT_SECONDS = histogram("exec.queue_wait_seconds")
 _JOB_SECONDS = histogram("exec.job_seconds")
 _BATCH_SECONDS = histogram("exec.batch_seconds")
+_JOBS_BY_KERNEL = {
+    name: counter(f"exec.jobs_kernel_{name}") for name in KERNELS
+}
 
 _BATCH_IDS = itertools.count()
+
+
+def _batch_kernel(jobs: Sequence[SimulationJob]) -> str:
+    """The kernel label journaled for a batch.
+
+    Jobs without a ``kernel`` attribute (e.g. snapshot-gains jobs, which
+    draw no randomness) resolve like an unset kernel; mixed batches are
+    labelled with every kernel present, slash-joined.
+    """
+    resolved = sorted(
+        {resolve_kernel(getattr(job, "kernel", None)) for job in jobs}
+    )
+    return "/".join(resolved)
 
 
 @dataclass(frozen=True)
@@ -127,6 +144,7 @@ class Executor:
         generator = as_rng(rng)
         sequences = spawn_seed_sequences(generator, len(jobs))
         batch_id = next(_BATCH_IDS)
+        kernel = _batch_kernel(jobs)
         sink = current_journal()
         if sink is not None:
             sink.batch_start(
@@ -134,9 +152,12 @@ class Executor:
                 jobs=len(jobs),
                 backend=self.backend_name,
                 workers=self.workers,
+                kernel=kernel,
             )
         _BATCHES.inc()
         _JOBS_SUBMITTED.inc(len(jobs))
+        for job in jobs:
+            _JOBS_BY_KERNEL[resolve_kernel(getattr(job, "kernel", None))].inc()
         submitted = time.monotonic()
         payloads: list[JobPayload] = [
             (i, job, sequences[i], submitted) for i, job in enumerate(jobs)
@@ -170,6 +191,7 @@ class Executor:
                 backend=self.backend_name,
                 workers=self.workers,
                 duration_seconds=elapsed,
+                kernel=kernel,
             )
         _LOG.debug(
             "batch %d: %d jobs on %s/%d workers in %.3fs",

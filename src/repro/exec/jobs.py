@@ -67,12 +67,17 @@ class SimulationJob(Protocol):
 
 @dataclass(frozen=True)
 class SpreadJob:
-    """Estimate the non-competitive spread ``σ0(seeds)`` by *rounds* simulations."""
+    """Estimate the non-competitive spread ``σ0(seeds)`` by *rounds* simulations.
+
+    ``kernel`` selects the diffusion inner loop (``"python"``/``"numpy"``;
+    ``None`` falls back to ``REPRO_KERNEL`` at run time).
+    """
 
     graph: DiGraph
     model: CascadeModel
     seeds: tuple[int, ...]
     rounds: int
+    kernel: str | None = None
 
     @property
     def num_nodes(self) -> int | None:
@@ -81,7 +86,9 @@ class SpreadJob:
     def run(self, generator: np.random.Generator) -> tuple[SpreadEstimate, ...]:
         values = np.empty(self.rounds, dtype=float)
         for i in range(self.rounds):
-            values[i] = self.model.spread_once(self.graph, self.seeds, generator)
+            values[i] = self.model.spread_once(
+                self.graph, self.seeds, generator, kernel=self.kernel
+            )
         return (SpreadEstimate.from_values(values),)
 
 
@@ -96,6 +103,9 @@ class CompetitiveJob:
     When ``crn_base`` is set, round *i* draws from a fresh stream seeded
     ``(crn_base + crn_step·i) mod 2^63-1`` — the common-random-numbers
     pairing used by the greedy candidate loops.
+
+    ``kernel`` selects the diffusion inner loop (``"python"``/``"numpy"``;
+    ``None`` falls back to ``REPRO_KERNEL`` at run time).
     """
 
     graph: DiGraph
@@ -106,6 +116,7 @@ class CompetitiveJob:
     claim_rule: ClaimRule = ClaimRule.PROPORTIONAL
     crn_base: int | None = None
     crn_step: int = 7919
+    kernel: str | None = None
 
     @property
     def num_nodes(self) -> int | None:
@@ -113,7 +124,7 @@ class CompetitiveJob:
 
     def run(self, generator: np.random.Generator) -> tuple[SpreadEstimate, ...]:
         engine = CompetitiveDiffusion(
-            self.graph, self.model, self.tie_break, self.claim_rule
+            self.graph, self.model, self.tie_break, self.claim_rule, self.kernel
         )
         profile = [list(seeds) for seeds in self.seed_sets]
         values = np.empty((len(profile), self.rounds), dtype=float)

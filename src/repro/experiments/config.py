@@ -19,7 +19,10 @@ variable                     meaning                                  default
 Execution is configured by the engine's own variables: ``REPRO_BACKEND``
 (``serial``/``thread``/``process``) and ``REPRO_WORKERS`` select the
 simulation backend all runners submit their batches to — results are
-bit-identical across those settings for a fixed seed.
+bit-identical across those settings for a fixed seed.  ``REPRO_KERNEL``
+(``python``/``numpy``) selects the diffusion kernel; results are
+bit-identical across backends *within* a kernel and statistically
+equivalent across kernels (see ``docs/execution.md``).
 """
 
 from __future__ import annotations
@@ -28,7 +31,13 @@ import os
 from dataclasses import dataclass, field
 
 from repro.algorithms import DegreeDiscount, MixGreedy, SingleDiscount
-from repro.cascade import CascadeModel, IndependentCascade, WeightedCascade
+from repro.cascade import (
+    KERNEL_ENV_VAR,
+    CascadeModel,
+    IndependentCascade,
+    WeightedCascade,
+    resolve_kernel,
+)
 from repro.core.strategy import StrategySpace
 from repro.errors import ExperimentError
 from repro.exec.executor import BACKEND_ENV_VAR, Executor, build_executor
@@ -83,6 +92,11 @@ class ExperimentConfig:
     workers: int | None = field(
         default_factory=lambda: _env_int("REPRO_WORKERS", 0) or None
     )
+    kernel: str = field(
+        default_factory=lambda: resolve_kernel(
+            _env_str(KERNEL_ENV_VAR, "python")
+        )
+    )
     _graph_cache: dict[str, DiGraph] = field(default_factory=dict, repr=False)
     _executor: Executor | None = field(default=None, repr=False)
 
@@ -129,7 +143,10 @@ class ExperimentConfig:
         """
         model = self.model(model_kind)
         greedy = MixGreedy(
-            model, num_snapshots=self.snapshots, executor=self.executor()
+            model,
+            num_snapshots=self.snapshots,
+            executor=self.executor(),
+            kernel=self.kernel,
         )
         if model_kind == "ic":
             return StrategySpace([greedy, DegreeDiscount(self.ic_probability)])

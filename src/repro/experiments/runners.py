@@ -182,6 +182,7 @@ def spread_rows(
                     config.rounds,
                     rng,
                     executor=config.executor(),
+                    kernel=config.kernel,
                 )
                 rows.append(
                     {
@@ -200,6 +201,7 @@ def spread_rows(
                     config.rounds,
                     rng,
                     executor=config.executor(),
+                    kernel=config.kernel,
                 )
                 rows.append(
                     {
@@ -236,6 +238,7 @@ def _mixture_for(
         seed_draws=3,
         rng=config.seed,
         executor=config.executor(),
+        kernel=config.kernel,
     )
     return result.mixture, space
 
@@ -281,6 +284,7 @@ def mixed_vs_random_rows(
                     rounds=1,
                     rng=rng,
                     executor=config.executor(),
+                    kernel=config.kernel,
                 )
                 totals += [ests[0].mean, ests[1].mean]
             means = totals / simulation_rounds
@@ -327,6 +331,7 @@ def profile_rows(
                 config.rounds,
                 rng,
                 executor=config.executor(),
+                kernel=config.kernel,
             )
             weight = mixture.probabilities[i] * mixture.probabilities[j]
             mixed_expect += weight * np.array([ests[0].mean, ests[1].mean])
@@ -385,6 +390,7 @@ def response_time_rows(
                     rounds=max(4, config.rounds // 4),
                     rng=rng,
                     executor=config.executor(),
+                    kernel=config.kernel,
                 )
                 game = table.to_game()
                 watch = Stopwatch()
@@ -437,6 +443,7 @@ def sensitivity_rows(
                 rounds=rounds,
                 rng=as_rng(config.seed + 100 + 31 * i + rounds),
                 executor=config.executor(),
+                kernel=config.kernel,
             )
             kinds.append(result.kind)
             rhos.append(float(result.mixture.probabilities[0]))

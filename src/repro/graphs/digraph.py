@@ -189,6 +189,17 @@ class DiGraph:
         return self._out_indices
 
     @property
+    def edge_ids(self) -> np.ndarray:
+        """Stable edge id of each out-CSR position (read-only).
+
+        Aligned with :attr:`out_indices`, so ``edge_ids[i]`` indexes per-edge
+        attribute arrays (probabilities, live-edge masks) for the edge stored
+        at out-CSR position *i* — the flat-array counterpart of
+        :meth:`out_edge_ids` for vectorized hot loops.
+        """
+        return self._edge_ids
+
+    @property
     def in_indptr(self) -> np.ndarray:
         """Raw in-CSR row pointer (read-only)."""
         return self._in_indptr

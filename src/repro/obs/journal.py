@@ -159,7 +159,12 @@ class RunJournal:
         )
 
     def batch_start(
-        self, batch_id: int, jobs: int, backend: str, workers: int
+        self,
+        batch_id: int,
+        jobs: int,
+        backend: str,
+        workers: int,
+        kernel: str | None = None,
     ) -> None:
         """A simulation batch was submitted to an execution backend."""
         self.emit(
@@ -168,6 +173,7 @@ class RunJournal:
             jobs=int(jobs),
             backend=backend,
             workers=int(workers),
+            **({"kernel": kernel} if kernel is not None else {}),
         )
 
     def batch_done(
@@ -177,6 +183,7 @@ class RunJournal:
         backend: str,
         workers: int,
         duration_seconds: float,
+        kernel: str | None = None,
     ) -> None:
         """Every job of a simulation batch completed."""
         self.emit(
@@ -186,6 +193,7 @@ class RunJournal:
             backend=backend,
             workers=int(workers),
             duration_seconds=float(duration_seconds),
+            **({"kernel": kernel} if kernel is not None else {}),
         )
 
     def equilibrium_found(

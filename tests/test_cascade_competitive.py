@@ -70,6 +70,23 @@ class TestAssignInitiators:
             wins[0 if initiators[0] else 1] += 1
         assert wins[0] / wins.sum() == pytest.approx(0.5, abs=0.07)
 
+    def test_proportional_fallback_ignores_third_party_exclusives(self, karate):
+        # Groups 0 and 1 contest node 4 and hold no exclusive seeds of their
+        # own; group 2 owns an exclusive seed but is not contesting.  The
+        # proportional weights over the *selecting* groups are all zero, so
+        # the tie must fall back to a uniform draw between groups 0 and 1 —
+        # and never leak node 4 to group 2.
+        rng = as_rng(22)
+        wins = np.zeros(3)
+        for _ in range(1000):
+            initiators = assign_initiators(
+                karate.num_nodes, [[4], [4], [7]], TieBreakRule.PROPORTIONAL, rng
+            )
+            assert 4 not in initiators[2]
+            wins[0 if 4 in initiators[0] else 1] += 1
+        assert wins[2] == 0
+        assert wins[0] / wins[:2].sum() == pytest.approx(0.5, abs=0.05)
+
     def test_duplicate_seeds_within_group_ignored(self, karate, rng):
         initiators = assign_initiators(karate.num_nodes, [[0, 0, 1]], rng=rng)
         assert sorted(initiators[0]) == [0, 1]
@@ -208,6 +225,23 @@ class TestCascadePath:
             outcome = engine.run([[0], [1]], rng)
             claims[outcome.owner[2]] += 1
         assert claims[0] / claims.sum() == pytest.approx(0.5, abs=0.05)
+
+    def test_winner_take_all_three_way_tie_uniform(self):
+        # Three groups attack node 3 with one attempt each: a three-way tie
+        # on the maximum attempt count, broken uniformly at random.
+        graph = DiGraph(4, [(0, 3), (1, 3), (2, 3)])
+        engine = CompetitiveDiffusion(
+            graph, IndependentCascade(1.0), claim_rule=ClaimRule.WINNER_TAKE_ALL
+        )
+        rng = as_rng(23)
+        claims = np.zeros(3)
+        n = 3000
+        for _ in range(n):
+            outcome = engine.run([[0], [1], [2]], rng)
+            claims[outcome.owner[3]] += 1
+        assert claims.sum() == n  # p=1: node 3 always activates
+        for share in claims / n:
+            assert share == pytest.approx(1 / 3, abs=0.04)
 
     def test_claimed_nodes_never_switch(self, karate):
         # Once owner[v] >= 0 the engine must not reassign it; verified by

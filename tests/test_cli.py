@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -191,3 +194,36 @@ class TestGetRealCommand:
     def test_needs_two_strategies(self, karate_file):
         with pytest.raises(SystemExit, match="at least two"):
             main(["getreal", karate_file, "--strategies", "ddic"])
+
+    def test_kernel_flag_covers_whole_command(
+        self, karate_file, tmp_path, capsys, monkeypatch
+    ):
+        # --kernel must reach strategies built inside the command (mgic's
+        # snapshot oracle resolves the kernel via the environment), not
+        # just the estimators, and must not leak out of main().
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        journal = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "getreal",
+                karate_file,
+                "--strategies",
+                "mgic,ddic",
+                "--k",
+                "3",
+                "--rounds",
+                "6",
+                "--kernel",
+                "numpy",
+                "--journal",
+                str(journal),
+            ]
+        )
+        assert code == 0
+        assert "REPRO_KERNEL" not in os.environ
+        kernels = {
+            event["kernel"]
+            for event in map(json.loads, journal.read_text().splitlines())
+            if event.get("event") == "batch_done"
+        }
+        assert kernels == {"numpy"}

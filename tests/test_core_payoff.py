@@ -9,6 +9,7 @@ from repro.cascade.ic import IndependentCascade
 from repro.core.payoff import estimate_payoff_table
 from repro.core.strategy import StrategySpace
 from repro.errors import PayoffEstimationError
+from repro.obs.metrics import counter
 
 
 @pytest.fixture
@@ -82,6 +83,54 @@ class TestEstimatePayoffTable:
         assert all(
             e.samples == 12 for v in table.estimates.values() for e in v
         )
+
+    def test_non_divisible_rounds_all_run(self, karate, space):
+        # Regression: rounds not divisible by seed_draws used to be silently
+        # truncated to (rounds // seed_draws) * seed_draws simulations.
+        table = estimate_payoff_table(
+            karate,
+            IndependentCascade(0.1),
+            space,
+            k=3,
+            rounds=30,
+            seed_draws=4,
+            rng=8,
+        )
+        assert table.rounds == 30
+        assert all(
+            e.samples == 30 for v in table.estimates.values() for e in v
+        )
+
+    def test_rounds_equal_to_draws(self, karate, space):
+        table = estimate_payoff_table(
+            karate,
+            IndependentCascade(0.1),
+            space,
+            k=3,
+            rounds=5,
+            seed_draws=5,
+            rng=8,
+        )
+        assert all(
+            e.samples == 5 for v in table.estimates.values() for e in v
+        )
+
+    def test_profiles_counter_counts_pooled_profiles(self, karate, space):
+        # Regression: the counter used to fire once per (draw, profile) job,
+        # reporting z^r x seed_draws instead of z^r.
+        profiles = counter("payoff.profiles_estimated")
+        before = profiles.value
+        estimate_payoff_table(
+            karate,
+            IndependentCascade(0.1),
+            space,
+            num_groups=2,
+            k=3,
+            rounds=9,
+            seed_draws=3,
+            rng=8,
+        )
+        assert profiles.value - before == 4  # z=2 strategies, r=2 groups
 
     def test_rounds_below_draws_rejected(self, karate, space):
         with pytest.raises(PayoffEstimationError, match="seed_draws"):

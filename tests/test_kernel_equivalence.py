@@ -1,0 +1,153 @@
+"""Cross-kernel equivalence suite (the kernel determinism contract).
+
+The python and numpy kernels consume randomness in different orders, so
+they are **not** bit-identical to each other; the contract
+(``docs/execution.md``) is:
+
+* **statistical equivalence** — per-node activation and claim probabilities
+  match exactly, so spread estimates from the two kernels agree within
+  sampling noise (asserted at 3 pooled standard errors on every tier-1
+  graph/model pairing, with fixed seeds so the check is deterministic);
+* **within-kernel determinism** — for a fixed master seed the numpy kernel
+  is bit-identical to itself across runs, backends, and worker counts
+  (the SeedSequence discipline of :mod:`repro.exec`).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import DegreeDiscount, RandomSeeds
+from repro.cascade.competitive import CompetitiveDiffusion
+from repro.cascade.ic import IndependentCascade
+from repro.cascade.lt import LinearThreshold
+from repro.cascade.wc import WeightedCascade
+from repro.core.payoff import estimate_payoff_table
+from repro.core.strategy import StrategySpace
+from repro.exec import Executor
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import erdos_renyi, karate_like_fixture
+from repro.utils.rng import as_rng
+
+GRAPHS: dict[str, tuple[DiGraph, list[int]]] = {
+    "karate": (karate_like_fixture(), [0, 33]),
+    "random": (erdos_renyi(60, 240, rng=7), [0, 7]),
+}
+
+MODELS = {
+    "ic": IndependentCascade(0.1),
+    "wc": WeightedCascade(),
+    "lt": LinearThreshold(),
+}
+
+
+def _assert_within_pooled_stderr(a: np.ndarray, b: np.ndarray) -> None:
+    """Means of two sample sets agree within 3 pooled standard errors."""
+    a, b = np.asarray(a, dtype=float), np.asarray(b, dtype=float)
+    stderr_a = a.std(ddof=1) / math.sqrt(a.size)
+    stderr_b = b.std(ddof=1) / math.sqrt(b.size)
+    pooled = math.sqrt(stderr_a**2 + stderr_b**2)
+    assert abs(a.mean() - b.mean()) <= 3 * pooled + 1e-9, (
+        f"means {a.mean():.3f} vs {b.mean():.3f} differ by more than "
+        f"3 pooled stderr ({pooled:.3f})"
+    )
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+class TestSingleGroupEquivalence:
+    def test_spread_means_agree(self, graph_name, model_name):
+        graph, seeds = GRAPHS[graph_name]
+        model = MODELS[model_name]
+        samples = {}
+        for kernel in ("python", "numpy"):
+            rng = as_rng(2015)
+            samples[kernel] = [
+                model.spread_once(graph, seeds, rng, kernel=kernel)
+                for _ in range(300)
+            ]
+        _assert_within_pooled_stderr(samples["python"], samples["numpy"])
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+class TestCompetitiveEquivalence:
+    def test_group_spread_means_agree(self, graph_name, model_name):
+        graph, seeds = GRAPHS[graph_name]
+        profile = [seeds[:1], seeds[1:]]
+        samples = {}
+        for kernel in ("python", "numpy"):
+            engine = CompetitiveDiffusion(
+                graph, MODELS[model_name], kernel=kernel
+            )
+            rng = as_rng(7)
+            samples[kernel] = np.array(
+                [engine.run(profile, rng).spreads() for _ in range(300)]
+            )
+        for group in range(2):
+            _assert_within_pooled_stderr(
+                samples["python"][:, group], samples["numpy"][:, group]
+            )
+
+
+class TestNumpyKernelDeterminism:
+    """The numpy kernel must be bit-identical to itself for a fixed seed."""
+
+    def _table(self, executor):
+        return estimate_payoff_table(
+            erdos_renyi(50, 200, rng=3),
+            IndependentCascade(0.2),
+            StrategySpace([DegreeDiscount(0.2), RandomSeeds()]),
+            num_groups=2,
+            k=4,
+            rounds=8,
+            seed_draws=2,
+            rng=2015,
+            executor=executor,
+            kernel="numpy",
+        )
+
+    def _flatten(self, table):
+        return {
+            profile: [(e.mean, e.std, e.samples) for e in ests]
+            for profile, ests in table.estimates.items()
+        }
+
+    def test_repeat_runs_identical(self):
+        with Executor("serial") as ex:
+            first = self._flatten(self._table(ex))
+            second = self._flatten(self._table(ex))
+        assert first == second
+
+    def test_serial_vs_process(self):
+        serial = self._flatten(self._table(Executor("serial")))
+        with Executor("process", workers=2) as ex:
+            process = self._flatten(self._table(ex))
+        assert serial == process
+
+    def test_serial_vs_thread(self):
+        serial = self._flatten(self._table(Executor("serial")))
+        with Executor("thread", workers=3) as ex:
+            thread = self._flatten(self._table(ex))
+        assert serial == thread
+
+    def test_worker_count_is_irrelevant(self):
+        with Executor("process", workers=1) as ex:
+            one = self._flatten(self._table(ex))
+        with Executor("process", workers=4) as ex:
+            four = self._flatten(self._table(ex))
+        assert one == four
+
+    def test_engine_level_repeatability(self):
+        graph = erdos_renyi(80, 400, rng=5)
+        engine = CompetitiveDiffusion(
+            graph, WeightedCascade(), kernel="numpy"
+        )
+        a = engine.run([[0, 1], [2, 3]], rng=99)
+        b = engine.run([[0, 1], [2, 3]], rng=99)
+        np.testing.assert_array_equal(a.owner, b.owner)
+        np.testing.assert_array_equal(a.activation_round, b.activation_round)
+        assert a.rounds == b.rounds
