@@ -20,13 +20,28 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING, Any, ClassVar
 
+import numpy as np
+
+from repro.cache import (
+    cache_enabled,
+    params_token,
+    rng_state,
+    rng_token,
+    selection_memo,
+    set_rng_state,
+)
+from repro.cascade.kernels import resolve_kernel
 from repro.errors import SeedSelectionError
 from repro.graphs.digraph import DiGraph
 from repro.obs.log import get_logger
 from repro.obs.metrics import Histogram, counter, histogram
-from repro.utils.rng import RandomSource
+from repro.utils.rng import RandomSource, as_rng
 from repro.utils.validation import check_positive_int
+
+if TYPE_CHECKING:
+    from repro.cascade.pools import SnapshotPool
 
 _LOG = get_logger("algorithms")
 
@@ -60,10 +75,70 @@ class SeedSelector(ABC):
     #: short identifier used in strategy labels ("mgic", "ddic", ...)
     name: str = "abstract"
 
-    def select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
-        """Return *k* distinct seed nodes in greedy (prefix-consistent) order."""
+    #: whether the algorithm consumes live-edge snapshot pools; pool-aware
+    #: callers only hand a shared pool to selectors that declare True.
+    uses_snapshots: ClassVar[bool] = False
+
+    def select(
+        self,
+        graph: DiGraph,
+        k: int,
+        rng: RandomSource = None,
+        pool: SnapshotPool | None = None,
+    ) -> list[int]:
+        """Return *k* distinct seed nodes in greedy (prefix-consistent) order.
+
+        *pool*, when given and the algorithm declares ``uses_snapshots``,
+        supplies shared live-edge masks and initial gains via
+        :meth:`_select_pooled`; other algorithms ignore it.
+
+        When *rng* is provided (reproducible call) and the work-sharing
+        cache is enabled, the result is memoized on (graph fingerprint,
+        selector params, ``k``, kernel, RNG state, pool token).  A hit
+        returns the cached seeds and restores the post-selection RNG state
+        into the caller's generator, so warm runs are bit-identical to cold
+        ones.
+        """
         started = time.perf_counter()
-        seeds = self._select(graph, k, rng)
+        generator = as_rng(rng)
+        use_pool = pool is not None and self.uses_snapshots
+        # Seeding the pool draws (at most) one integer from the caller's
+        # generator — unconditionally, so the RNG stream does not depend on
+        # whether the cache is enabled or warm.
+        pool_token = pool.token(generator) if use_pool and pool is not None else None
+        memo = selection_memo() if rng is not None and cache_enabled() else None
+        key: Any = None
+        if memo is not None:
+            key = (
+                graph.fingerprint,
+                params_token(self),
+                int(k),
+                resolve_kernel(getattr(self, "kernel", None)),
+                rng_token(generator),
+                pool_token,
+            )
+            hit = memo.get(key)
+            if hit is not None:
+                seeds, end_state = hit
+                set_rng_state(generator, end_state)
+                _SELECTIONS.inc()
+                _LOG.debug(
+                    "%s reused cached selection of %d seeds on %d nodes",
+                    self.name,
+                    len(seeds),
+                    graph.num_nodes,
+                )
+                return list(seeds)
+        if use_pool and pool is not None:
+            seeds = self._select_pooled(graph, k, generator, pool)
+        else:
+            seeds = self._select(graph, k, generator)
+        if memo is not None:
+            memo.put(
+                key,
+                (tuple(seeds), rng_state(generator)),
+                nbytes=8 * len(seeds) + 256,
+            )
         elapsed = time.perf_counter() - started
         _SELECTIONS.inc()
         _select_seconds_histogram(self.name).observe(elapsed)
@@ -79,6 +154,16 @@ class SeedSelector(ABC):
     @abstractmethod
     def _select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
         """Algorithm body; see :meth:`select` for the contract."""
+
+    def _select_pooled(
+        self,
+        graph: DiGraph,
+        k: int,
+        rng: np.random.Generator,
+        pool: SnapshotPool,
+    ) -> list[int]:
+        """Pool-aware body; the default ignores the pool (no snapshots used)."""
+        return self._select(graph, k, rng)
 
     def _check_budget(self, graph: DiGraph, k: int) -> int:
         check_positive_int(k, "k")

@@ -22,28 +22,39 @@ implemented against the same snapshot oracle but initializing from the
 same exact reach-size computation; it is provided as an extra strategy and
 for cross-checking MixGreedy (both maximize the same monotone submodular
 estimate, so their spreads agree within noise).
+
+When a shared :class:`~repro.cascade.pools.SnapshotPool` is passed to
+``select`` (the payoff estimator creates one per ``(draw, group)``), both
+algorithms draw their masks, oracle, and initial gains from the pool via
+``_select_pooled`` instead of resampling privately — the work-sharing path
+reprolint rule RP008 steers strategy code towards.
 """
 
 from __future__ import annotations
 
 import heapq
+from typing import ClassVar
+
+import numpy as np
 
 from repro.algorithms.base import SeedSelector
 from repro.cascade.base import CascadeModel
+from repro.cascade.pools import MASKS_PER_JOB, SnapshotPool, snapshot_initial_gains
 from repro.cascade.snapshots import SnapshotOracle, sample_snapshots
-from repro.exec.executor import Executor, resolve_executor
-from repro.exec.jobs import SnapshotGainsJob
+from repro.exec.executor import Executor
 from repro.graphs.digraph import DiGraph
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.validation import check_positive_int
 
-#: Snapshots per gains job.  Fixed (never derived from the worker count) so
-#: chunking — and hence floating-point pooling order — is deterministic.
-_MASKS_PER_JOB = 8
+#: Snapshots per gains job — canonical value lives with the shared-pool
+#: machinery in :mod:`repro.cascade.pools`; re-exported for compatibility.
+_MASKS_PER_JOB = MASKS_PER_JOB
 
 
 class _SnapshotGreedyBase(SeedSelector):
     """Shared CELF machinery over a live-edge snapshot oracle."""
+
+    uses_snapshots: ClassVar[bool] = True
 
     def __init__(
         self,
@@ -62,30 +73,41 @@ class _SnapshotGreedyBase(SeedSelector):
     ) -> list[float]:
         """Average exact reach size of every singleton seed over the snapshots.
 
-        Fanned out as one batch of per-chunk :class:`SnapshotGainsJob`s;
-        chunk estimates are pooled per node with
-        :meth:`SpreadEstimate.__add__`.  Reach sizes are integers (sums are
-        exact in float64), so the pooled means match the serial
-        computation bit for bit at any worker count.
+        Delegates to :func:`repro.cascade.pools.snapshot_initial_gains` —
+        the same batched computation a shared :class:`SnapshotPool` caches —
+        so pooled and private selection paths agree bit for bit.
         """
-        masks = oracle.masks
-        jobs = [
-            SnapshotGainsJob(graph=graph, masks=tuple(masks[i: i + _MASKS_PER_JOB]))
-            for i in range(0, len(masks), _MASKS_PER_JOB)
-        ]
-        per_chunk = resolve_executor(self.executor).estimates(jobs)
-        pooled = list(per_chunk[0])
-        for chunk in per_chunk[1:]:
-            pooled = [prev + new for prev, new in zip(pooled, chunk)]
-        return [est.mean for est in pooled]
+        return snapshot_initial_gains(graph, oracle.masks, self.executor)
 
     def _select(self, graph: DiGraph, k: int, rng: RandomSource = None) -> list[int]:
         k = self._check_budget(graph, k)
         generator = as_rng(rng)
-        masks = sample_snapshots(graph, self.model, self.num_snapshots, generator)
+        # A private, freshly sampled pool is semantically required here:
+        # without a shared pool each select call must stay independently
+        # randomized (the Theorem 1 footnote behaviour).
+        masks = sample_snapshots(  # reprolint: disable=RP008
+            graph, self.model, self.num_snapshots, generator
+        )
         oracle = SnapshotOracle(graph, masks, kernel=self.kernel)
-
         gains = self._initial_gains(graph, oracle)
+        return self._run_celf(k, oracle, gains)
+
+    def _select_pooled(
+        self,
+        graph: DiGraph,
+        k: int,
+        rng: np.random.Generator,
+        pool: SnapshotPool,
+    ) -> list[int]:
+        """Select against the group's shared masks and shared initial gains."""
+        k = self._check_budget(graph, k)
+        oracle = pool.oracle(self.model, self.num_snapshots, kernel=self.kernel)
+        gains = pool.initial_gains(self.model, self.num_snapshots, self.executor)
+        return self._run_celf(k, oracle, gains)
+
+    def _run_celf(
+        self, k: int, oracle: SnapshotOracle, gains: list[float]
+    ) -> list[int]:
         # CELF heap: (-gain, node, iteration the gain was computed at).
         heap: list[tuple[float, int, int]] = [
             (-gain, v, 0) for v, gain in enumerate(gains)

@@ -15,6 +15,8 @@ objective, so their spreads agree within sampling noise.
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 import numpy as np
 
 from repro.algorithms.base import SeedSelector
@@ -37,6 +39,11 @@ class RISGreedy(SeedSelector):
         auto-scaling of Tang et al. is deliberately out of scope (GetReal
         treats the algorithm as a black-box strategy).
     """
+
+    # RIS samples *reverse-reachable* sets, not forward live-edge snapshots,
+    # so it sits outside the shared-pool API (RP008) and ignores any pool
+    # passed to select().
+    uses_snapshots: ClassVar[bool] = False
 
     def __init__(self, model: CascadeModel, num_samples: int = 2_000) -> None:
         self.model = model

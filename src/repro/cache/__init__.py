@@ -1,0 +1,63 @@
+"""Work-sharing cache: keyed memos for seed selections and blocking runs.
+
+Parameter sweeps (vary ``rounds``, vary ``r``, vary tie-break) repeat the
+same seed selections over and over — the selection inputs (graph, strategy
+parameters, budget, RNG state) don't change when only simulation-side knobs
+do.  This package memoizes those computations behind content-derived keys:
+
+* :func:`selection_memo` — ``SeedSelector.select`` results, keyed on graph
+  fingerprint, selector params, ``k``, kernel, RNG state, and (for pooled
+  snapshot strategies) the pool token.
+* :func:`blocking_memo` — ``select_blockers`` results, keyed analogously.
+
+Hits restore the exact post-computation RNG state into the caller's
+generator, so a warm cache is bit-identical to a cold one — downstream
+draws continue from the same stream position either way.  The whole layer
+is switched off with ``REPRO_CACHE=off``; see :mod:`repro.cache.memo` for
+the metrics (``cache.hits`` / ``cache.misses`` / ``cache.evictions`` /
+``cache.bytes``) and journal events.
+"""
+
+from repro.cache.keys import (
+    EXCLUDED_ATTRS,
+    freeze,
+    params_token,
+    rng_state,
+    rng_token,
+    set_rng_state,
+)
+from repro.cache.memo import CACHE_ENV_VAR, Memo, cache_enabled
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "EXCLUDED_ATTRS",
+    "Memo",
+    "blocking_memo",
+    "cache_enabled",
+    "clear_caches",
+    "freeze",
+    "params_token",
+    "rng_state",
+    "rng_token",
+    "selection_memo",
+    "set_rng_state",
+]
+
+_SELECTION_MEMO = Memo("selection", capacity=4096)
+_BLOCKING_MEMO = Memo("blocking", capacity=512)
+
+
+def selection_memo() -> Memo:
+    """The shared memo for ``SeedSelector.select`` results."""
+    return _SELECTION_MEMO
+
+
+def blocking_memo() -> Memo:
+    """The shared memo for ``select_blockers`` results."""
+    return _BLOCKING_MEMO
+
+
+def clear_caches() -> None:
+    """Explicitly invalidate every shared memo."""
+    _SELECTION_MEMO.clear()
+    _BLOCKING_MEMO.clear()

@@ -1,0 +1,145 @@
+"""Bounded memo stores with metrics, journal events, and an env kill-switch.
+
+A :class:`Memo` is a thread-safe FIFO-bounded mapping from frozen keys
+(:mod:`repro.cache.keys`) to computed values.  Shared module-level instances
+back the selection and blocking caches (see :mod:`repro.cache`); every
+lookup lands in the ``cache.hits`` / ``cache.misses`` counters, evictions in
+``cache.evictions``, and the approximate resident size of all memos in the
+``cache.bytes`` gauge.  Hits and clears are journaled as ``cache`` events
+when a run journal is attached.
+
+Caching is on by default and can be disabled globally with
+``REPRO_CACHE=off`` (also ``0`` / ``false`` / ``no``): callers consult
+:func:`cache_enabled` before touching a memo, so a disabled cache costs
+nothing and — because hits restore the exact post-computation RNG state —
+produces bit-identical results to a cold cache.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.obs.journal import current_journal
+from repro.obs.metrics import counter, gauge
+
+__all__ = ["CACHE_ENV_VAR", "Memo", "cache_enabled"]
+
+#: Environment variable that disables all work-sharing caches when set to a
+#: falsy value (``0`` / ``off`` / ``false`` / ``no``).
+CACHE_ENV_VAR = "REPRO_CACHE"
+
+_DISABLED_VALUES = frozenset({"0", "off", "false", "no"})
+
+_HITS = counter("cache.hits")
+_MISSES = counter("cache.misses")
+_EVICTIONS = counter("cache.evictions")
+_BYTES = gauge("cache.bytes")
+
+_ALL_MEMOS: list[Memo] = []
+_MEMOS_LOCK = threading.Lock()
+
+
+def cache_enabled() -> bool:
+    """Whether the work-sharing caches are active (``REPRO_CACHE`` gate)."""
+    raw = os.environ.get(CACHE_ENV_VAR, "").strip().lower()
+    return raw not in _DISABLED_VALUES
+
+
+def _update_bytes_gauge() -> None:
+    with _MEMOS_LOCK:
+        total = sum(memo.nbytes for memo in _ALL_MEMOS)
+    _BYTES.set(float(total))
+
+
+class Memo:
+    """Thread-safe FIFO-bounded key/value store with cache telemetry."""
+
+    def __init__(self, namespace: str, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError(f"memo capacity must be positive, got {capacity}")
+        self.namespace = namespace
+        self.capacity = capacity
+        self._entries: OrderedDict[Any, tuple[Any, int]] = OrderedDict()
+        self._nbytes = 0
+        self._lock = threading.Lock()
+        with _MEMOS_LOCK:
+            _ALL_MEMOS.append(self)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident bytes, as reported by callers at ``put``."""
+        return self._nbytes
+
+    def get(self, key: Any) -> Any | None:
+        """Return the stored value or ``None``; counts a hit or a miss.
+
+        Stored values are never ``None`` by construction (callers store
+        result tuples), so ``None`` unambiguously means a miss.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            entries = len(self._entries)
+        if entry is None:
+            _MISSES.inc()
+            return None
+        _HITS.inc()
+        sink = current_journal()
+        if sink is not None:
+            sink.cache_event(self.namespace, "hit", entries)
+        return entry[0]
+
+    def put(self, key: Any, value: Any, nbytes: int = 0) -> None:
+        """Store ``value``, evicting oldest entries beyond the capacity."""
+        evicted = 0
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._nbytes -= previous[1]
+            self._entries[key] = (value, int(nbytes))
+            self._nbytes += int(nbytes)
+            while len(self._entries) > self.capacity:
+                _, (_, dropped) = self._entries.popitem(last=False)
+                self._nbytes -= dropped
+                evicted += 1
+        if evicted:
+            _EVICTIONS.inc(evicted)
+        _update_bytes_gauge()
+
+    def invalidate(self, graph_fingerprint: int) -> int:
+        """Drop every entry keyed on the given graph fingerprint.
+
+        All memo users put the graph fingerprint first in their key tuples,
+        so explicit invalidation (e.g. after rescaling a dataset) is a scan
+        over leading key elements.  Returns the number of entries removed.
+        """
+        removed = 0
+        with self._lock:
+            stale = [
+                key
+                for key in self._entries
+                if isinstance(key, tuple) and key and key[0] == graph_fingerprint
+            ]
+            for key in stale:
+                _, nbytes = self._entries.pop(key)
+                self._nbytes -= nbytes
+                removed += 1
+        if removed:
+            _update_bytes_gauge()
+        return removed
+
+    def clear(self) -> None:
+        """Drop every entry and journal the clear."""
+        with self._lock:
+            self._entries.clear()
+            self._nbytes = 0
+        _update_bytes_gauge()
+        sink = current_journal()
+        if sink is not None:
+            sink.cache_event(self.namespace, "clear", 0)

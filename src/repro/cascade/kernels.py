@@ -603,6 +603,66 @@ def reachable_mask(
     return visited
 
 
+def reachable_mask_batch(
+    graph: DiGraph,
+    sources: Sequence[int],
+    mask_matrix: np.ndarray,
+    kernel: str | None = None,
+) -> np.ndarray:
+    """Per-snapshot reachability over a stacked ``(snapshots, edges)`` mask.
+
+    Row *s* of the returned ``(snapshots, nodes)`` boolean matrix equals
+    ``reachable_mask(graph, sources, mask_matrix[s])`` bit for bit.  The
+    python kernel is that per-mask loop verbatim; the numpy kernel runs one
+    frontier sweep over flat ``(snapshot, node)`` pairs, so a snapshot whose
+    cascade dies early drops out of the frontier while live snapshots keep
+    expanding — the batched analogue of the per-mask early exit.
+    """
+    resolved = resolve_kernel(kernel)
+    if mask_matrix.ndim != 2 or mask_matrix.shape[1] != graph.num_edges:
+        raise CascadeError(
+            f"mask matrix shape {mask_matrix.shape} does not match "
+            f"(snapshots, {graph.num_edges})"
+        )
+    num_snaps = mask_matrix.shape[0]
+    _SWEEPS[resolved].inc(num_snaps)
+    if resolved == "python":
+        rows = [graph.reachable_from(sources, mask_matrix[s]) for s in range(num_snaps)]
+        if not rows:
+            return np.zeros((0, graph.num_nodes), dtype=bool)
+        return np.stack(rows)
+    visited = np.zeros((num_snaps, graph.num_nodes), dtype=bool)
+    starts: list[int] = []
+    for s in sources:
+        node = int(s)
+        if not 0 <= node < graph.num_nodes:
+            raise GraphError(f"node {node} out of range [0, {graph.num_nodes})")
+        starts.append(node)
+    if not starts or num_snaps == 0:
+        return visited
+    uniq = np.unique(np.asarray(starts, dtype=np.int64))
+    visited[:, uniq] = True
+    n = graph.num_nodes
+    snap_f = np.repeat(np.arange(num_snaps, dtype=np.int64), uniq.size)
+    node_f = np.tile(uniq, num_snaps)
+    while node_f.size:
+        targets, eids, degs = _frontier_edges(graph, node_f)
+        if targets.size == 0:
+            break
+        snaps = np.repeat(snap_f, degs)
+        live = mask_matrix[snaps, eids]
+        targets, snaps = targets[live], snaps[live]
+        if targets.size:
+            fresh = ~visited[snaps, targets]
+            targets, snaps = targets[fresh], snaps[fresh]
+        if targets.size == 0:
+            break
+        keys = np.unique(snaps * n + targets)
+        snap_f, node_f = keys // n, keys % n
+        visited[snap_f, node_f] = True
+    return visited
+
+
 def count_new_reachable(
     graph: DiGraph,
     mask: np.ndarray,

@@ -19,7 +19,7 @@ from repro.cascade.base import CascadeModel
 from repro.cascade.kernels import (
     absorb_reachable,
     count_new_reachable,
-    reachable_mask,
+    reachable_mask_batch,
     resolve_kernel,
 )
 from repro.errors import CascadeError
@@ -70,6 +70,9 @@ class SnapshotOracle:
                 )
         self.graph = graph
         self.masks = list(masks)
+        # Stacked (snapshots, edges) view: spread/reach sweep all snapshots
+        # in one reachable_mask_batch call instead of a per-mask loop.
+        self.mask_matrix = np.stack([np.asarray(mask, dtype=bool) for mask in self.masks])
         self.kernel = resolve_kernel(kernel)
 
     @property
@@ -78,19 +81,17 @@ class SnapshotOracle:
 
     def spread(self, seeds: Sequence[int]) -> float:
         """Average number of nodes reachable from *seeds* over all snapshots."""
-        total = 0
-        for mask in self.masks:
-            total += int(
-                reachable_mask(self.graph, seeds, mask, kernel=self.kernel).sum()
-            )
-        return total / len(self.masks)
+        visited = reachable_mask_batch(
+            self.graph, seeds, self.mask_matrix, kernel=self.kernel
+        )
+        return int(visited.sum()) / len(self.masks)
 
     def reach(self, seeds: Sequence[int]) -> list[np.ndarray]:
         """Per-snapshot boolean reached arrays for *seeds*."""
-        return [
-            reachable_mask(self.graph, seeds, mask, kernel=self.kernel)
-            for mask in self.masks
-        ]
+        visited = reachable_mask_batch(
+            self.graph, seeds, self.mask_matrix, kernel=self.kernel
+        )
+        return [visited[s] for s in range(visited.shape[0])]
 
     def extend_reach(self, reached: list[np.ndarray], new_seed: int) -> None:
         """Mutate *reached* in place to include everything reachable from *new_seed*."""

@@ -19,7 +19,9 @@ execution flags ``--backend {serial,thread,process}`` / ``--workers N``
 selecting the simulation backend and ``--kernel {python,numpy}`` selecting
 the diffusion kernel (defaults come from ``REPRO_BACKEND`` /
 ``REPRO_WORKERS`` / ``REPRO_KERNEL``; results are bit-identical across backends for a fixed
-seed).
+seed).  ``getreal`` additionally accepts
+``--profile-symmetry {full,reduce}`` (default ``REPRO_SYMMETRY`` or
+``full``) selecting full-profile vs symmetric-reduced payoff estimation.
 
 Examples::
 
@@ -51,6 +53,7 @@ from repro.core.metrics import jaccard
 from repro.core.strategy import StrategySpace
 from repro.errors import JournalError
 from repro.cascade.kernels import KERNELS
+from repro.core.payoff import SYMMETRY_MODES
 from repro.exec.backends import BACKENDS
 from repro.exec.executor import Executor, build_executor
 from repro.graphs.datasets import DATASETS, get_dataset
@@ -174,6 +177,17 @@ def build_parser() -> argparse.ArgumentParser:
     getreal.add_argument("--k", type=int, default=20)
     getreal.add_argument("--rounds", type=int, default=20)
     getreal.add_argument("--probability", type=float, default=0.05, help="IC p")
+    getreal.add_argument(
+        "--profile-symmetry",
+        dest="profile_symmetry",
+        choices=sorted(SYMMETRY_MODES),
+        default=None,
+        help=(
+            "payoff-table symmetry mode: 'reduce' simulates only canonical "
+            "sorted profiles and fills the rest by player permutation "
+            "(default: $REPRO_SYMMETRY or full)"
+        ),
+    )
 
     overlap = sub.add_parser("overlap", help="seed overlap of two algorithms")
     _add_common(overlap)
@@ -215,7 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
     journal.add_argument("file", help="path to a .jsonl run journal")
 
     lint = sub.add_parser(
-        "lint", help="run the reprolint static-analysis rules (RP001-RP007)"
+        "lint", help="run the reprolint static-analysis rules (RP001-RP008)"
     )
     add_lint_arguments(lint)
 
@@ -428,6 +442,7 @@ def _dispatch(args: argparse.Namespace, graph: DiGraph, executor: Executor) -> i
         rng=args.seed,
         executor=executor,
         kernel=args.kernel,
+        symmetry=args.profile_symmetry,
     )
     print(format_table(result.payoff_table.rows(), title="estimated payoffs"))
     print()

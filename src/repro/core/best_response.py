@@ -14,6 +14,12 @@ implements it anyway so the two paradigms can be compared head to head:
 Convergence is not guaranteed (the seed game need not be a potential
 game); the result records whether a fixed point was reached, and the
 bench compares the dynamics' outcome with the GetReal equilibrium.
+
+Each follower response goes through ``SeedSelector.select`` and therefore
+through the work-sharing selection cache (:mod:`repro.cache`): when the
+dynamics revisit a seed configuration already responded to at the same RNG
+state — common once the process starts cycling — the response is served
+from the memo, RNG state restored, bit-identically to a cold run.
 """
 
 from __future__ import annotations

@@ -20,10 +20,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
+from repro.cache import (
+    blocking_memo,
+    cache_enabled,
+    params_token,
+    rng_state,
+    rng_token,
+    set_rng_state,
+)
 from repro.cascade.base import CascadeModel
+from repro.cascade.kernels import resolve_kernel
 from repro.errors import SeedSelectionError
 from repro.exec.executor import Executor, resolve_executor
 from repro.exec.jobs import CompetitiveJob
@@ -108,6 +118,13 @@ def select_blockers(
     *executor* and picks the one whose addition lowers the rival's
     CRN-paired expected spread the most (first wins on ties, matching the
     sorted candidate order).
+
+    Reproducible calls (``rng`` given) are memoized in the work-sharing
+    blocking cache, keyed on graph fingerprint, model params, rival seeds,
+    budgets, kernel, and RNG state; a hit returns the stored result and
+    restores the post-run RNG state, so warm runs are bit-identical to
+    cold ones.  The executor backend is deliberately not part of the key —
+    batched results are backend-independent.
     """
     check_positive_int(k, "k")
     check_positive_int(rounds, "rounds")
@@ -120,6 +137,25 @@ def select_blockers(
             raise SeedSelectionError(f"rival seed {s} out of range")
 
     generator = as_rng(rng)
+    memo = blocking_memo() if rng is not None and cache_enabled() else None
+    key: Any = None
+    if memo is not None:
+        key = (
+            graph.fingerprint,
+            params_token(model),
+            tuple(rival),
+            int(k),
+            int(rounds),
+            int(candidate_pool),
+            resolve_kernel(kernel),
+            rng_token(generator),
+        )
+        hit = memo.get(key)
+        if hit is not None:
+            result, end_state = hit
+            set_rng_state(generator, end_state)
+            assert isinstance(result, BlockingResult)
+            return result
     crn_base = int(generator.integers(0, 2**62))
     runner = resolve_executor(executor)
 
@@ -159,9 +195,12 @@ def select_blockers(
 
     final_job = _blocking_job(graph, model, rival, blockers, rounds, crn_base, kernel)
     final = runner.estimates([final_job], rng=generator)[0]
-    return BlockingResult(
+    result = BlockingResult(
         blockers=blockers,
         rival_spread_before=baseline,
         rival_spread_after=final[0].mean,
         blocker_spread=final[1].mean,
     )
+    if memo is not None:
+        memo.put(key, (result, rng_state(generator)), nbytes=8 * len(blockers) + 512)
+    return result

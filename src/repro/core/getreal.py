@@ -29,7 +29,7 @@ from repro.algorithms.base import SeedSelector
 from repro.cascade.base import CascadeModel
 from repro.cascade.competitive import ClaimRule, TieBreakRule
 from repro.cascade.kernels import resolve_kernel
-from repro.core.payoff import PayoffTable, estimate_payoff_table
+from repro.core.payoff import PayoffTable, estimate_payoff_table, resolve_symmetry
 from repro.core.strategy import MixedStrategy, StrategySpace
 from repro.exec.executor import Executor
 from repro.game.mixed import (
@@ -134,6 +134,7 @@ def solve_strategy_game(
             f"{space.size} strategies"
         )
     watch = Stopwatch()
+    symmetric_game: NormalFormGame | None = None
     with watch:
         # Lines 5-7: examine the z diagonal profiles for a pure equilibrium.
         z = space.size
@@ -149,11 +150,10 @@ def solve_strategy_game(
             )
             mixture = MixedStrategy.pure(space, best)
             kind, pure_index = "pure", best
-            solved_game = game
         else:
             # Lines 8-10: symmetric mixed equilibrium via indifference.
-            solved_game = symmetrize(game)
-            weights = symmetric_mixed_equilibrium(solved_game)
+            symmetric_game = symmetrize(game)
+            weights = symmetric_mixed_equilibrium(symmetric_game)
             mixture = MixedStrategy(space, weights)
             if mixture.is_pure:
                 # The indifference solver landed on a corner: a diagonal
@@ -164,7 +164,12 @@ def solve_strategy_game(
                 pure_index = int(np.argmax(weights))
             else:
                 kind, pure_index = "mixed", None
-    regret = regret_of_symmetric_mixture(symmetrize(game), mixture.probabilities)
+    # Regret is always evaluated on the symmetrized game; reuse the mixed
+    # branch's tensor instead of recomputing it (the pure branch, which
+    # never symmetrized, builds it here once).
+    if symmetric_game is None:
+        symmetric_game = symmetrize(game)
+    regret = regret_of_symmetric_mixture(symmetric_game, mixture.probabilities)
     return GetRealResult(
         kind=kind,
         mixture=mixture,
@@ -190,12 +195,15 @@ def get_real(
     journal: RunJournal | None = None,
     executor: Executor | None = None,
     kernel: str | None = None,
+    symmetry: str | None = None,
 ) -> GetRealResult:
     """Run the full GetReal pipeline: estimate payoffs, then find the NE.
 
     Parameters mirror the paper's setting: *num_groups* rival companies
     each picking *k* seeds using some strategy from *strategies*, diffusing
-    under *model* on *graph*.
+    under *model* on *graph*.  *symmetry* selects full-profile vs
+    symmetric-reduced payoff estimation (argument > ``REPRO_SYMMETRY`` >
+    full; see :func:`repro.core.payoff.estimate_payoff_table`).
 
     When *journal* is given (or attached via
     :func:`repro.obs.attach_journal`), the run is journalled end to end:
@@ -234,6 +242,7 @@ def get_real(
             tie_break=tie_break.value,
             claim_rule=claim_rule.value,
             kernel=resolve_kernel(kernel),
+            symmetry=resolve_symmetry(symmetry),
         )
     try:
         table = estimate_payoff_table(
@@ -250,6 +259,7 @@ def get_real(
             journal=sink,
             executor=executor,
             kernel=kernel,
+            symmetry=symmetry,
         )
         result = solve_strategy_game(table.to_game(), space, payoff_table=table)
     except Exception as exc:

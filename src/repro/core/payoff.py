@@ -15,25 +15,50 @@ group.  Two sources of randomness are integrated over:
 as evenly as possible across the draws (the first ``rounds % seed_draws``
 draws run one extra simulation, so all *rounds* simulations always run).
 
-All ``z^r x seed_draws`` profile simulations are independent, so they are
-fanned out as **one batch** through the execution engine: seed sets are
-drawn sequentially up front (they consume the caller's generator), then
-one :class:`~repro.exec.jobs.CompetitiveJob` per (draw, profile) cell is
+**Work sharing.**  Two reductions cut the simulation bill without changing
+semantics:
+
+* *Shared snapshot pools* — phase 1 hands one
+  :class:`~repro.cascade.pools.SnapshotPool` per ``(draw, group)`` to every
+  strategy of that group, so MixGreedy and CELFGreedy sample live edges and
+  compute NewGreedy initial gains once per group instead of once per
+  strategy.  Pools are never shared *across* groups: identical strategies in
+  different groups keep independently randomized seed sets (Theorem 1).
+* *Symmetric-profile reduction* (``symmetry="reduce"``, or the
+  ``REPRO_SYMMETRY`` env var) — the game is player-symmetric, so only the
+  ``C(z+r-1, r)`` sorted-multiset profiles carry distinct information.  In
+  reduce mode only canonical profiles are simulated, with the ``rounds``
+  budget reallocated onto them (see :func:`symmetric_profile_plan`), and the
+  remaining ``z^r − C(z+r-1, r)`` cells are filled by player permutation of
+  the pooled estimates.  The resulting :meth:`PayoffTable.to_game` tensor is
+  *exactly* player-symmetric.  Precedence matches the kernel switch:
+  explicit ``symmetry=`` argument > ``REPRO_SYMMETRY`` > ``"full"``.
+
+All profile simulations are independent, so they are fanned out as **one
+batch** through the execution engine: seed sets are drawn sequentially up
+front (they consume the caller's generator), then one
+:class:`~repro.exec.jobs.CompetitiveJob` per (draw, profile) cell is
 submitted and the per-draw estimates are pooled exactly via
 :meth:`SpreadEstimate.__add__`.  Results are bit-identical across
-backends and worker counts for a fixed master seed.
+backends and worker counts for a fixed master seed; phase 1 is identical
+in both symmetry modes, so full and reduce runs consume the caller's
+generator in the same way.
 """
 
 from __future__ import annotations
 
+import math
+import os
+from collections import Counter
 from dataclasses import dataclass
-from itertools import product
+from itertools import combinations_with_replacement, product
 from collections.abc import Sequence
 
 import numpy as np
 
 from repro.cascade.base import CascadeModel
 from repro.cascade.competitive import ClaimRule, TieBreakRule
+from repro.cascade.pools import SnapshotPool
 from repro.cascade.simulate import SpreadEstimate
 from repro.core.strategy import StrategySpace
 from repro.errors import PayoffEstimationError
@@ -52,7 +77,106 @@ _LOG = get_logger("core.payoff")
 
 _TABLES = counter("payoff.tables_estimated")
 _PROFILES = counter("payoff.profiles_estimated")
+_PROFILES_FILLED = counter("payoff.profiles_filled")
 _PROFILE_SECONDS = histogram("payoff.profile_seconds")
+
+#: Environment variable selecting the process-wide default symmetry mode.
+SYMMETRY_ENV_VAR = "REPRO_SYMMETRY"
+
+#: Known symmetry modes, in documentation order.
+SYMMETRY_MODES = ("full", "reduce")
+
+
+def resolve_symmetry(symmetry: str | None = None) -> str:
+    """Resolve the symmetry mode: explicit arg > ``REPRO_SYMMETRY`` > full.
+
+    Mirrors :func:`repro.cascade.kernels.resolve_kernel` exactly, so the two
+    switches compose predictably from the CLI, env vars, and config fields.
+    """
+    resolved = symmetry or os.environ.get(SYMMETRY_ENV_VAR, "").strip() or "full"
+    if resolved not in SYMMETRY_MODES:
+        raise PayoffEstimationError(
+            f"unknown symmetry mode {resolved!r}; known: {SYMMETRY_MODES}"
+        )
+    return resolved
+
+
+def canonical_profile(profile: Sequence[int]) -> tuple[int, ...]:
+    """The sorted-multiset representative of *profile*'s permutation class."""
+    return tuple(sorted(int(a) for a in profile))
+
+
+def profile_multiplicity(profile: Sequence[int]) -> int:
+    """Number of distinct permutations of *profile* (multinomial count)."""
+    counts = Counter(int(a) for a in profile)
+    mult = math.factorial(len(tuple(profile)))
+    for c in counts.values():
+        mult //= math.factorial(c)
+    return mult
+
+
+def symmetric_profile_plan(
+    z: int, r: int, rounds: int, seed_draws: int = 1
+) -> list[tuple[tuple[int, ...], int, int]]:
+    """Budget plan for ``symmetry="reduce"``: (profile, weight, rounds) triples.
+
+    One triple per canonical profile (``C(z+r-1, r)`` of them).  *weight* is
+    the number of ``z^r`` tensor cells the profile represents.  Its round
+    budget is ``max(ceil(rounds/2), ceil(rounds·weight/r!), seed_draws)``:
+    the middle term reallocates the freed budget proportionally to how many
+    cells a canonical estimate serves (a cell filled from a ``weight``-way
+    pooled estimate would otherwise over-sample relative to the full mode's
+    per-cell ``rounds``), and the ``rounds/2`` floor caps the per-cell
+    standard-error inflation of rare profiles at ``sqrt(2)``.  At
+    ``z = r = 3`` the plan totals ``5.5·rounds`` simulated rounds against
+    the full mode's ``27·rounds``.
+    """
+    check_positive_int(z, "z")
+    check_positive_int(r, "r")
+    check_positive_int(rounds, "rounds")
+    check_positive_int(seed_draws, "seed_draws")
+    total_perms = math.factorial(r)
+    floor_rounds = math.ceil(rounds / 2)
+    plan = []
+    for profile in combinations_with_replacement(range(z), r):
+        weight = profile_multiplicity(profile)
+        alloc = max(floor_rounds, math.ceil(rounds * weight / total_perms), seed_draws)
+        plan.append((profile, weight, alloc))
+    return plan
+
+
+def _canonical_assignment(
+    profile: tuple[int, ...],
+) -> tuple[tuple[int, ...], list[int]]:
+    """Map *profile* onto its canonical representative, position by position.
+
+    Returns ``(canonical, mapping)`` where player *i* of *profile* takes the
+    estimate of player ``mapping[i]`` in the canonical profile.  Repeated
+    actions are assigned in order of appearance, so the mapping is a
+    well-defined permutation and the canonical profile maps to itself with
+    the identity.
+    """
+    canonical = canonical_profile(profile)
+    pos_by_action: dict[int, list[int]] = {}
+    for j, action in enumerate(canonical):
+        pos_by_action.setdefault(action, []).append(j)
+    used = dict.fromkeys(pos_by_action, 0)
+    mapping = []
+    for action in profile:
+        j = pos_by_action[action][used[action]]
+        used[action] += 1
+        mapping.append(j)
+    return canonical, mapping
+
+
+def _split_rounds(total: int, parts: int) -> list[int]:
+    """Split *total* rounds as evenly as possible over *parts* draws.
+
+    The first ``total % parts`` draws run one extra simulation, so the parts
+    always sum to exactly *total*.
+    """
+    base, remainder = divmod(total, parts)
+    return [base + (1 if draw < remainder else 0) for draw in range(parts)]
 
 
 @dataclass(frozen=True)
@@ -61,7 +185,9 @@ class PayoffTable:
 
     ``estimates[profile][player]`` is a :class:`SpreadEstimate`;
     :meth:`to_game` converts the means into a :class:`NormalFormGame` for
-    the equilibrium machinery.
+    the equilibrium machinery.  Under ``symmetry="reduce"`` the dict still
+    holds every ``z^r`` profile, but permutation-equivalent cells share the
+    same pooled estimate objects.
     """
 
     space: StrategySpace
@@ -70,6 +196,7 @@ class PayoffTable:
     estimates: dict[tuple[int, ...], tuple[SpreadEstimate, ...]]
     rounds: int
     seed_draws: int
+    symmetry: str = "full"
 
     def estimate(self, profile: Sequence[int], player: int) -> SpreadEstimate:
         """The spread estimate for *player* under *profile*."""
@@ -123,24 +250,33 @@ def estimate_payoff_table(
     journal: RunJournal | None = None,
     executor: Executor | None = None,
     kernel: str | None = None,
+    symmetry: str | None = None,
 ) -> PayoffTable:
     """Estimate the full payoff table for *num_groups* groups over *space*.
 
-    Every profile in ``Φ^r`` is simulated; for games of GetReal scale
-    (``z, r ≤ 3``) this is at most 27 profiles.  Per profile, *rounds*
-    competitive diffusions are run, split as evenly as possible over
-    *seed_draws* independent seed-set draws per (group, strategy) pair —
-    when ``rounds % seed_draws != 0`` the first ``rounds % seed_draws``
-    draws run one extra simulation, so exactly *rounds* simulations run
-    per profile.  The ``seed_draws x z^r`` cells are submitted to
-    *executor* (or the env-configured default) as a single batch, each
+    In the default ``symmetry="full"`` mode every profile in ``Φ^r`` is
+    simulated; for games of GetReal scale (``z, r ≤ 3``) this is at most 27
+    profiles.  Per profile, *rounds* competitive diffusions are run, split
+    as evenly as possible over *seed_draws* independent seed-set draws per
+    (group, strategy) pair — when ``rounds % seed_draws != 0`` the first
+    ``rounds % seed_draws`` draws run one extra simulation, so exactly
+    *rounds* simulations run per profile.  Under ``symmetry="reduce"``
+    (argument > ``REPRO_SYMMETRY`` env var > full) only the canonical
+    sorted-multiset profiles are simulated, with per-profile budgets from
+    :func:`symmetric_profile_plan`, and the remaining cells are filled by
+    player permutation — see the module docstring.  All cells are submitted
+    to *executor* (or the env-configured default) as a single batch, each
     running the diffusion *kernel* (``None``: ``REPRO_KERNEL`` fallback).
+
+    Phase 1 (seed selection) is identical in both modes: every strategy of
+    every group draws its seed set per draw, against a per-(draw, group)
+    shared :class:`~repro.cascade.pools.SnapshotPool`.
 
     When *journal* is given (or a journal is attached via
     :func:`repro.obs.attach_journal`), a ``profile_start`` event is
-    emitted when each profile is first submitted and a ``profile_done``
-    event — per-player mean/stderr plus summed per-job wall-clock
-    duration — once its estimates are pooled.
+    emitted when each simulated profile is first submitted and a
+    ``profile_done`` event — per-player mean/stderr plus summed per-job
+    wall-clock duration — once its estimates are pooled.
     """
     r = check_positive_int(num_groups, "num_groups")
     check_positive_int(k, "k")
@@ -150,46 +286,60 @@ def estimate_payoff_table(
         raise PayoffEstimationError(
             f"rounds={rounds} must be >= seed_draws={seed_draws}"
         )
+    resolved_symmetry = resolve_symmetry(symmetry)
     generator = as_rng(rng)
     z = space.size
-    # Distribute rounds over draws without silently dropping the remainder:
-    # draws 0..remainder-1 run one extra simulation each, so the per-profile
-    # simulation count is exactly ``rounds`` for any seed_draws.
-    rounds_per_draw, remainder = divmod(rounds, seed_draws)
-    draw_rounds = [
-        rounds_per_draw + (1 if draw < remainder else 0)
-        for draw in range(seed_draws)
-    ]
     sink = journal if journal is not None else current_journal()
+
+    # The profile plan: which profiles are simulated, at what total budget.
+    profiles = list(product(range(z), repeat=r))
+    if resolved_symmetry == "reduce":
+        simulated = [
+            (profile, alloc)
+            for profile, _weight, alloc in symmetric_profile_plan(
+                z, r, rounds, seed_draws
+            )
+        ]
+    else:
+        simulated = [(profile, rounds) for profile in profiles]
     _LOG.info(
         "estimating payoff table: z=%d strategies, r=%d groups, "
-        "%d profiles x %d rounds (k=%d, %d seed draws)",
+        "%d/%d profiles simulated [%s], %d total rounds "
+        "(k=%d, %d seed draws)",
         z,
         r,
-        z**r,
-        rounds,
+        len(simulated),
+        len(profiles),
+        resolved_symmetry,
+        sum(alloc for _p, alloc in simulated),
         k,
         seed_draws,
     )
 
     # Phase 1 (sequential): draw seed sets.  S[draw][i][j] is what group i
     # would seed if it played strategy j in this draw.  These consume the
-    # caller's generator in a fixed order, independent of the backend.
-    all_seed_sets = [
-        [
-            [space[j].select(graph, k, generator) for j in range(z)]
-            for i in range(r)
-        ]
-        for draw in range(seed_draws)
-    ]
+    # caller's generator in a fixed order, independent of the backend and
+    # of the symmetry mode.  One snapshot pool per (draw, group) shares the
+    # live-edge sample among that group's strategies; pools stay private to
+    # their group so identical strategies across groups remain
+    # independently randomized (Theorem 1).
+    all_seed_sets = []
+    for _draw in range(seed_draws):
+        draw_sets = []
+        for _group in range(r):
+            group_pool = SnapshotPool(graph)
+            draw_sets.append(
+                [space[j].select(graph, k, generator, pool=group_pool) for j in range(z)]
+            )
+        all_seed_sets.append(draw_sets)
 
-    # Phase 2: one job per (draw, profile) cell, in deterministic order.
-    profiles = list(product(range(z), repeat=r))
+    # Phase 2: one job per (draw, simulated profile) cell, in deterministic
+    # order.
     job_cells: list[tuple[int, tuple[int, ...]]] = []
     jobs: list[CompetitiveJob] = []
     for draw in range(seed_draws):
         seed_sets = all_seed_sets[draw]
-        for profile in profiles:
+        for profile, profile_rounds in simulated:
             if sink is not None and draw == 0:
                 labels = [space[a].name for a in profile]
                 sink.profile_start(profile, labels)
@@ -201,7 +351,7 @@ def estimate_payoff_table(
                         tuple(int(s) for s in seed_sets[i][profile[i]])
                         for i in range(r)
                     ),
-                    rounds=draw_rounds[draw],
+                    rounds=_split_rounds(profile_rounds, seed_draws)[draw],
                     tie_break=tie_break,
                     claim_rule=claim_rule,
                     kernel=kernel,
@@ -224,11 +374,12 @@ def estimate_payoff_table(
         else:
             accumulated[profile] = list(ests)
 
-    for profile in profiles:
+    for profile, _profile_rounds in simulated:
         pooled = accumulated[profile]
         labels = [space[a].name for a in profile]
         # Once per pooled profile (not per (draw, profile) job), so the
-        # counter reports z^r regardless of seed_draws.
+        # counter reports the number of *simulated* profiles regardless of
+        # seed_draws.
         _PROFILES.inc()
         _PROFILE_SECONDS.observe(durations[profile])
         if contracts.enabled():
@@ -258,6 +409,19 @@ def estimate_payoff_table(
                 duration_seconds=durations[profile],
             )
 
+    # Phase 4 (reduce mode only): fill the non-canonical cells by player
+    # permutation of the pooled canonical estimates.  The per-player
+    # assignment is order-preserving, so the filled tensor is exactly
+    # player-symmetric and permutation-consistent.
+    if resolved_symmetry == "reduce":
+        for profile in profiles:
+            if profile in accumulated:
+                continue
+            canonical, mapping = _canonical_assignment(profile)
+            source = accumulated[canonical]
+            accumulated[profile] = [source[j] for j in mapping]
+            _PROFILES_FILLED.inc()
+
     _TABLES.inc()
     estimates = {
         profile: tuple(ests) for profile, ests in accumulated.items()
@@ -269,4 +433,5 @@ def estimate_payoff_table(
         estimates=estimates,
         rounds=rounds,
         seed_draws=seed_draws,
+        symmetry=resolved_symmetry,
     )

@@ -152,8 +152,11 @@ class SnapshotGainsJob:
     the full snapshot sample; reach sizes are integers, so the pooled
     means are exact regardless of how masks were chunked.
 
-    The job draws no randomness — masks are sampled by the caller so the
-    snapshot sample is identical no matter which backend evaluates it.
+    The job draws no randomness — masks are sampled by the caller (a
+    private ``select`` call or a shared per-group
+    :class:`~repro.cascade.pools.SnapshotPool`, which also memoizes the
+    pooled result of this batch) so the snapshot sample is identical no
+    matter which backend evaluates it.
     """
 
     graph: DiGraph

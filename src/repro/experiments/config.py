@@ -23,6 +23,9 @@ bit-identical across those settings for a fixed seed.  ``REPRO_KERNEL``
 (``python``/``numpy``) selects the diffusion kernel; results are
 bit-identical across backends *within* a kernel and statistically
 equivalent across kernels (see ``docs/execution.md``).
+``REPRO_SYMMETRY`` (``full``/``reduce``) selects full-profile vs
+symmetric-reduced payoff estimation, and ``REPRO_CACHE=off`` disables the
+work-sharing selection/blocking caches (both in ``docs/execution.md``).
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ from repro.cascade import (
     WeightedCascade,
     resolve_kernel,
 )
+from repro.core.payoff import SYMMETRY_ENV_VAR, resolve_symmetry
 from repro.core.strategy import StrategySpace
 from repro.errors import ExperimentError
 from repro.exec.executor import BACKEND_ENV_VAR, Executor, build_executor
@@ -95,6 +99,11 @@ class ExperimentConfig:
     kernel: str = field(
         default_factory=lambda: resolve_kernel(
             _env_str(KERNEL_ENV_VAR, "python")
+        )
+    )
+    symmetry: str = field(
+        default_factory=lambda: resolve_symmetry(
+            _env_str(SYMMETRY_ENV_VAR, "full")
         )
     )
     _graph_cache: dict[str, DiGraph] = field(default_factory=dict, repr=False)

@@ -239,6 +239,7 @@ def _mixture_for(
         rng=config.seed,
         executor=config.executor(),
         kernel=config.kernel,
+        symmetry=config.symmetry,
     )
     return result.mixture, space
 
@@ -391,6 +392,7 @@ def response_time_rows(
                     rng=rng,
                     executor=config.executor(),
                     kernel=config.kernel,
+                    symmetry=config.symmetry,
                 )
                 game = table.to_game()
                 watch = Stopwatch()
@@ -444,6 +446,7 @@ def sensitivity_rows(
                 rng=as_rng(config.seed + 100 + 31 * i + rounds),
                 executor=config.executor(),
                 kernel=config.kernel,
+                symmetry=config.symmetry,
             )
             kinds.append(result.kind)
             rhos.append(float(result.mixture.probabilities[0]))

@@ -14,6 +14,7 @@ copies.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -42,6 +43,7 @@ class DiGraph:
         "_in_indptr",
         "_in_indices",
         "_edge_ids",
+        "_fingerprint",
     )
 
     def __init__(self, num_nodes: int, edges: Iterable[tuple[int, int]]) -> None:
@@ -102,6 +104,8 @@ class DiGraph:
         ):
             arr.setflags(write=False)
 
+        self._fingerprint: int | None = None
+
     # ------------------------------------------------------------------ #
     # basic accessors
     # ------------------------------------------------------------------ #
@@ -115,6 +119,24 @@ class DiGraph:
     def num_edges(self) -> int:
         """Number of directed edges *m* (after self-loop/duplicate removal)."""
         return self._m
+
+    @property
+    def fingerprint(self) -> int:
+        """Stable content hash of the CSR arrays.
+
+        Two graphs with identical node count and edge structure share a
+        fingerprint (the in-CSR is derived from the out-CSR, so hashing the
+        out side plus the edge-id permutation suffices).  Computed lazily on
+        first access and cached — the structure is immutable — so repeated
+        cache-key construction (:mod:`repro.cache`) costs a slot read.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=8)
+            digest.update(str(self._n).encode())
+            for arr in (self._out_indptr, self._out_indices, self._edge_ids):
+                digest.update(arr.tobytes())
+            self._fingerprint = int.from_bytes(digest.digest(), "big")
+        return self._fingerprint
 
     def __len__(self) -> int:
         return self._n

@@ -1,4 +1,4 @@
-"""The RP001–RP007 rule catalogue.
+"""The RP001–RP008 rule catalogue.
 
 Each rule is scoped to the packages where its invariant is load-bearing
 (see :meth:`~repro.lint.base.Rule.applies_to`); scoping is by path parts so
@@ -552,6 +552,55 @@ class NoPerNodeDiffusionLoops(Rule):
         self.generic_visit(node)
 
 
+class UseSharedSnapshotPools(Rule):
+    """RP008: strategies acquire live-edge pools via the shared-pool API.
+
+    A direct ``sample_snapshots(...)`` call inside an algorithm module
+    creates a private live-edge sample: it repeats the dominant selection
+    cost once per strategy instead of once per group, and the sample is
+    invisible to the work-sharing layer (no pool token, so the selection
+    cache cannot key on it).  Snapshot-consuming strategies should declare
+    ``uses_snapshots = True`` and take their masks, oracle, and initial
+    gains from the :class:`repro.cascade.pools.SnapshotPool` passed to
+    ``_select_pooled``.  Where an independently randomized private sample
+    is semantically required (the no-pool fallback path preserving the
+    Theorem 1 footnote behaviour), carry an explicit suppression.
+    """
+
+    code: ClassVar[str] = "RP008"
+    name: ClassVar[str] = "use-shared-snapshot-pools"
+    rationale: ClassVar[str] = (
+        "private snapshot sampling in strategy code repeats the dominant "
+        "selection cost per strategy and hides the sample from the "
+        "work-sharing layer (pools, selection cache)"
+    )
+    hint: ClassVar[str] = (
+        "implement _select_pooled and read masks/oracle/initial gains from "
+        "the shared SnapshotPool; suppress with "
+        "'# reprolint: disable=RP008' only where an independent private "
+        "sample is semantically required"
+    )
+
+    @classmethod
+    def applies_to(cls, module: tuple[str, ...]) -> bool:
+        return module_matches(module, "algorithms")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        name: str | None = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name == "sample_snapshots":
+            self.report(
+                node,
+                "direct sample_snapshots(...) call in a strategy module; "
+                "use the shared SnapshotPool API",
+            )
+        self.generic_visit(node)
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     NoGlobalRandom,
     NoFloatEquality,
@@ -560,6 +609,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     PublicAPIAnnotations,
     NoAdHocSimulationLoops,
     NoPerNodeDiffusionLoops,
+    UseSharedSnapshotPools,
 )
 
 

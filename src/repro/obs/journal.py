@@ -17,6 +17,8 @@ event                  emitted by / payload highlights
                        mixture probabilities, regret, NE-search seconds
 ``run_end``            pipeline exit — ``status`` (``ok``/``error``), duration
 ``span``               :func:`repro.obs.trace.span` with ``journal=True``
+``cache``              :mod:`repro.cache` — ``namespace`` (``selection`` /
+                       ``blocking``), ``op`` (``hit``/``clear``), ``entries``
 =====================  ==========================================================
 
 Every line also carries ``ts`` (epoch seconds), ``seq`` (per-journal
@@ -60,6 +62,7 @@ EVENT_TYPES = (
     "note",
     "batch_start",
     "batch_done",
+    "cache",
 )
 
 
@@ -212,6 +215,10 @@ class RunJournal:
             regret=float(regret),
             solve_seconds=float(solve_seconds),
         )
+
+    def cache_event(self, namespace: str, op: str, entries: int) -> None:
+        """A work-sharing cache event (``op`` is ``hit`` or ``clear``)."""
+        self.emit("cache", namespace=namespace, op=op, entries=int(entries))
 
     def run_end(
         self,

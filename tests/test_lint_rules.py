@@ -1,4 +1,4 @@
-"""Per-rule fixture tests for reprolint (RP001–RP007).
+"""Per-rule fixture tests for reprolint (RP001–RP008).
 
 Each rule gets positive snippets (must flag), negative snippets (must stay
 silent), and a suppressed variant (flag silenced by an inline
@@ -24,9 +24,10 @@ def codes(findings):
 
 
 class TestRuleCatalogue:
-    def test_seven_rules_with_stable_codes(self):
+    def test_eight_rules_with_stable_codes(self):
         assert [r.code for r in ALL_RULES] == [
             "RP001", "RP002", "RP003", "RP004", "RP005", "RP006", "RP007",
+            "RP008",
         ]
 
     def test_every_rule_carries_metadata(self):
@@ -645,5 +646,75 @@ class TestRP007NoPerNodeDiffusionLoops:
             """,
             "cascade/custom_model.py",
             select=["RP007"],
+        )
+        assert found == []
+
+
+class TestRP008UseSharedSnapshotPools:
+    def test_flags_direct_sample_snapshots_call(self):
+        found = findings_for(
+            """
+            from repro.cascade.snapshots import sample_snapshots
+
+            def _select(self, graph, k, rng=None):
+                masks = sample_snapshots(graph, self.model, 100, rng)
+                return masks
+            """,
+            "algorithms/my_greedy.py",
+            select=["RP008"],
+        )
+        assert codes(found) == ["RP008"]
+
+    def test_flags_attribute_call(self):
+        found = findings_for(
+            """
+            import repro.cascade.snapshots as snapshots
+
+            def _select(self, graph, k, rng=None):
+                return snapshots.sample_snapshots(graph, self.model, 10, rng)
+            """,
+            "algorithms/my_greedy.py",
+            select=["RP008"],
+        )
+        assert codes(found) == ["RP008"]
+
+    def test_pool_api_is_silent(self):
+        found = findings_for(
+            """
+            def _select_pooled(self, graph, k, rng, pool):
+                oracle = pool.oracle(self.model, self.num_snapshots)
+                gains = pool.initial_gains(self.model, self.num_snapshots)
+                return oracle, gains
+            """,
+            "algorithms/my_greedy.py",
+            select=["RP008"],
+        )
+        assert found == []
+
+    def test_out_of_scope_package_not_linted(self):
+        found = findings_for(
+            """
+            from repro.cascade.snapshots import sample_snapshots
+
+            def build_pool(graph, model, rng):
+                return sample_snapshots(graph, model, 100, rng)
+            """,
+            "cascade/pools.py",
+            select=["RP008"],
+        )
+        assert found == []
+
+    def test_suppression_comment(self):
+        found = findings_for(
+            """
+            from repro.cascade.snapshots import sample_snapshots
+
+            def _select(self, graph, k, rng=None):
+                return sample_snapshots(  # reprolint: disable=RP008
+                    graph, self.model, 100, rng
+                )
+            """,
+            "algorithms/my_greedy.py",
+            select=["RP008"],
         )
         assert found == []

@@ -214,6 +214,8 @@ class TestCliIntegration:
                 "3",
                 "--rounds",
                 "5",
+                "--profile-symmetry",
+                "full",
                 "--journal",
                 str(journal_path),
             ]

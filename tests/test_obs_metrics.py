@@ -190,6 +190,7 @@ class TestPipelineInstrumentation:
             k=2,
             rounds=2,
             rng=0,
+            symmetry="full",
         )
         snap = snapshot()
         assert snap["counters"]["payoff.tables_estimated"] == 1
