@@ -32,6 +32,7 @@ from repro.obs import (
     configure_logging,
     detach_journal,
     get_registry,
+    metrics_snapshot,
 )
 from repro.utils.charts import ascii_chart, series_from_rows
 from repro.utils.tables import format_table, write_csv
@@ -95,6 +96,11 @@ def report():
             "workers": int(os.environ.get(WORKERS_ENV_VAR) or 0) or None,
             "note": note,
             "rows": rows,
+            # Full telemetry at emit time (cumulative over the bench run):
+            # worker metric harvesting makes these backend-invariant, so a
+            # benchmark row can be audited for how much simulation work
+            # (jobs, kernel mix, cache traffic) actually produced it.
+            "metrics": metrics_snapshot(),
         }
         (_RESULTS_DIR / f"{safe}.json").write_text(
             json.dumps(payload, indent=2, default=str) + "\n"

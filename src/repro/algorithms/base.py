@@ -139,7 +139,7 @@ class SeedSelector(ABC):
                 (tuple(seeds), rng_state(generator)),
                 nbytes=8 * len(seeds) + 256,
             )
-        elapsed = time.perf_counter() - started
+        elapsed = time.perf_counter() - started  # reprolint: disable=RP009
         _SELECTIONS.inc()
         _select_seconds_histogram(self.name).observe(elapsed)
         _LOG.debug(

@@ -5,8 +5,9 @@ A :class:`Memo` is a thread-safe FIFO-bounded mapping from frozen keys
 back the selection and blocking caches (see :mod:`repro.cache`); every
 lookup lands in the ``cache.hits`` / ``cache.misses`` counters, evictions in
 ``cache.evictions``, and the approximate resident size of all memos in the
-``cache.bytes`` gauge.  Hits and clears are journaled as ``cache`` events
-when a run journal is attached.
+``cache.bytes`` gauge.  Hits, misses, and clears are journaled as ``cache``
+events when a run journal is attached (the live monitor derives its hit
+rate from that stream).
 
 Caching is on by default and can be disabled globally with
 ``REPRO_CACHE=off`` (also ``0`` / ``false`` / ``no``): callers consult
@@ -86,11 +87,13 @@ class Memo:
         with self._lock:
             entry = self._entries.get(key)
             entries = len(self._entries)
+        sink = current_journal()
         if entry is None:
             _MISSES.inc()
+            if sink is not None:
+                sink.cache_event(self.namespace, "miss", entries)
             return None
         _HITS.inc()
-        sink = current_journal()
         if sink is not None:
             sink.cache_event(self.namespace, "hit", entries)
         return entry[0]

@@ -72,7 +72,7 @@ def estimate_spread(
     (estimate,) = resolve_executor(executor).estimates([job], rng=rng)[0]
     _SPREAD_CALLS.inc()
     _SINGLE_SIMULATIONS.inc(rounds)
-    _SPREAD_SECONDS.observe(time.perf_counter() - started)
+    _SPREAD_SECONDS.observe(time.perf_counter() - started)  # reprolint: disable=RP009
     if contracts.enabled():
         contracts.check_spread_estimate(estimate.mean, graph.num_nodes)
     return estimate
@@ -107,7 +107,7 @@ def estimate_competitive_spread(
     )
     started = time.perf_counter()
     estimates = list(resolve_executor(executor).estimates([job], rng=rng)[0])
-    elapsed = time.perf_counter() - started
+    elapsed = time.perf_counter() - started  # reprolint: disable=RP009
     _COMPETITIVE_CALLS.inc()
     _COMPETITIVE_SECONDS.observe(elapsed)
     _LOG.debug(

@@ -10,7 +10,10 @@ Subcommands cover the everyday workflows:
 * ``getreal``  — run the full GetReal pipeline and print the equilibrium;
 * ``overlap``  — Jaccard overlap of two algorithms' seed sets;
 * ``block``    — place blocker seeds against a rival campaign;
-* ``journal``  — per-profile timing/variance report from a run journal.
+* ``journal``  — per-profile timing/variance report from a run journal;
+* ``monitor``  — tail-follow a run journal and render a live dashboard;
+* ``obs trace``  — per-run span waterfall (self vs child time) from a journal;
+* ``obs export`` — metrics in Prometheus text format or JSON.
 
 Every graph-taking command accepts the observability flags
 ``--log-level``/``--log-json`` (structured logging on stderr) and
@@ -32,6 +35,9 @@ Examples::
     python -m repro getreal hep --strategies mgic,ddic --k 20 --rounds 30 \
         --journal run.jsonl --log-level info
     python -m repro journal run.jsonl
+    python -m repro monitor run.jsonl
+    python -m repro obs trace run.jsonl
+    python -m repro obs export --journal run.jsonl --format prom
     python -m repro overlap hep --first ddic --second mgic --k 20
     python -m repro block hep --rival ddic --k 5 --rival-k 10
 """
@@ -67,8 +73,13 @@ from repro.obs import (
     attach_journal,
     configure_logging,
     detach_journal,
+    metrics_snapshot,
     read_journal,
+    registry_from_journal,
+    render_export,
     render_journal_report,
+    render_trace_tree,
+    run_monitor,
 )
 from repro.utils.tables import format_table
 
@@ -228,8 +239,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     journal.add_argument("file", help="path to a .jsonl run journal")
 
+    monitor = sub.add_parser(
+        "monitor", help="tail-follow a run journal and render a live dashboard"
+    )
+    monitor.add_argument("file", help="path to a (possibly growing) .jsonl journal")
+    monitor.add_argument(
+        "--interval", type=float, default=0.5, help="poll interval in seconds"
+    )
+    monitor.add_argument(
+        "--once",
+        action="store_true",
+        help="render one dashboard from the current contents and exit",
+    )
+    monitor.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="stop after this many seconds (default: follow until Ctrl-C)",
+    )
+    monitor.add_argument(
+        "--top-spans", type=int, default=10, dest="top_spans",
+        help="rows in the cumulative-span-time table",
+    )
+
+    obs = sub.add_parser("obs", help="observability tooling (trace/export)")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    trace = obs_sub.add_parser(
+        "trace", help="render per-run span trees from a journal's span events"
+    )
+    trace.add_argument("file", help="path to a .jsonl run journal")
+    trace.add_argument(
+        "--max-children",
+        type=int,
+        default=20,
+        dest="max_children",
+        help="per-span child rows before elision",
+    )
+
+    export = obs_sub.add_parser(
+        "export", help="export metrics (Prometheus text format or JSON)"
+    )
+    export.add_argument(
+        "--format",
+        dest="format",
+        choices=["prom", "json"],
+        default="prom",
+        help="output format (default: prom)",
+    )
+    export.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help=(
+            "rebuild metrics from a recorded journal instead of this "
+            "process's (empty) live registry"
+        ),
+    )
+
     lint = sub.add_parser(
-        "lint", help="run the reprolint static-analysis rules (RP001-RP008)"
+        "lint", help="run the reprolint static-analysis rules (RP001-RP009)"
     )
     add_lint_arguments(lint)
 
@@ -273,6 +342,18 @@ def main(argv: list[str] | None = None) -> int:
         print(render_journal_report(events))
         return 0
 
+    if args.command == "monitor":
+        return run_monitor(
+            args.file,
+            interval=args.interval,
+            once=args.once,
+            duration=args.duration,
+            top_spans=args.top_spans,
+        )
+
+    if args.command == "obs":
+        return _run_obs(args)
+
     try:
         configure_logging(args.log_level, json=args.log_json)
     except ValueError as exc:
@@ -296,19 +377,46 @@ def main(argv: list[str] | None = None) -> int:
             if wrap_run:
                 journal.run_end(
                     status="error",
-                    duration_seconds=time.perf_counter() - started,
+                    duration_seconds=time.perf_counter() - started,  # reprolint: disable=RP009
                     error=f"{type(exc).__name__}: {exc}",
                 )
             raise
         else:
             if wrap_run:
                 journal.run_end(
-                    status="ok", duration_seconds=time.perf_counter() - started
+                    status="ok",
+                    duration_seconds=time.perf_counter() - started,  # reprolint: disable=RP009
                 )
             return code
         finally:
             detach_journal(journal)
             journal.close()
+
+
+def _run_obs(args: argparse.Namespace) -> int:
+    """``repro obs trace|export`` — journal-driven, no graph loading."""
+    if args.obs_command == "trace":
+        try:
+            events = read_journal(args.file, strict=False)
+        except JournalError as exc:
+            raise SystemExit(str(exc)) from exc
+        print(render_trace_tree(events, max_children=args.max_children))
+        return 0
+
+    # export
+    if args.journal is not None:
+        try:
+            events = read_journal(args.journal, strict=False)
+        except JournalError as exc:
+            raise SystemExit(str(exc)) from exc
+        snapshot = registry_from_journal(events).snapshot()
+    else:
+        snapshot = metrics_snapshot()
+    try:
+        sys.stdout.write(render_export(snapshot, args.format))
+    except JournalError as exc:
+        raise SystemExit(str(exc)) from exc
+    return 0
 
 
 def _run_command(args: argparse.Namespace) -> int:

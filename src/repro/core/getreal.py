@@ -42,6 +42,7 @@ from repro.graphs.digraph import DiGraph
 from repro.obs.journal import RunJournal, current_journal
 from repro.obs.log import get_logger
 from repro.obs.metrics import counter
+from repro.obs.trace import span
 from repro.utils.rng import RandomSource
 from repro.utils.timing import Stopwatch
 
@@ -245,28 +246,41 @@ def get_real(
             symmetry=resolve_symmetry(symmetry),
         )
     try:
-        table = estimate_payoff_table(
-            graph,
-            model,
-            space,
+        # The run-level root span: every batch span (and, transitively,
+        # every exec.job span on any backend) parents under this one, so
+        # ``repro obs trace`` shows the whole pipeline as a single tree.
+        with span(
+            "getreal.run",
+            journal=True,
+            strategies=len(space.labels),
             num_groups=num_groups,
             k=k,
             rounds=rounds,
-            seed_draws=seed_draws,
-            rng=rng,
-            tie_break=tie_break,
-            claim_rule=claim_rule,
-            journal=sink,
-            executor=executor,
-            kernel=kernel,
-            symmetry=symmetry,
-        )
-        result = solve_strategy_game(table.to_game(), space, payoff_table=table)
+        ):
+            table = estimate_payoff_table(
+                graph,
+                model,
+                space,
+                num_groups=num_groups,
+                k=k,
+                rounds=rounds,
+                seed_draws=seed_draws,
+                rng=rng,
+                tie_break=tie_break,
+                claim_rule=claim_rule,
+                journal=sink,
+                executor=executor,
+                kernel=kernel,
+                symmetry=symmetry,
+            )
+            result = solve_strategy_game(
+                table.to_game(), space, payoff_table=table
+            )
     except Exception as exc:
         if sink is not None:
             sink.run_end(
                 status="error",
-                duration_seconds=time.perf_counter() - started,
+                duration_seconds=time.perf_counter() - started,  # reprolint: disable=RP009
                 error=f"{type(exc).__name__}: {exc}",
             )
         raise
@@ -285,6 +299,7 @@ def get_real(
             solve_seconds=result.solve_seconds,
         )
         sink.run_end(
-            status="ok", duration_seconds=time.perf_counter() - started
+            status="ok",
+            duration_seconds=time.perf_counter() - started,  # reprolint: disable=RP009
         )
     return result

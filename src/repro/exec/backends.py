@@ -37,16 +37,36 @@ from collections.abc import Iterator, Sequence
 
 import numpy as np
 
+from typing import Any
+
 from repro.cascade.estimate import SpreadEstimate
 from repro.errors import ExecutionError
 from repro.exec.jobs import SimulationJob
+from repro.obs.metrics import MetricsState, delta_state, get_registry
+from repro.obs.trace import collect_spans, span, trace_scope
 from repro.utils.rng import as_rng
 
-#: (index, job, per-job seed sequence, batch submission time).
-JobPayload = tuple[int, SimulationJob, np.random.SeedSequence, float]
+#: (index, job, per-job seed sequence, batch submission time,
+#:  serialized trace context or None, harvest-worker-metrics flag).
+JobPayload = tuple[
+    int,
+    SimulationJob,
+    np.random.SeedSequence,
+    float,
+    dict[str, str] | None,
+    bool,
+]
 
-#: (index, estimates, queue-wait seconds, job-duration seconds).
-JobRecord = tuple[int, tuple[SpreadEstimate, ...], float, float]
+#: (index, estimates, queue-wait seconds, job-duration seconds,
+#:  worker metrics delta or None, journal-worthy span records).
+JobRecord = tuple[
+    int,
+    tuple[SpreadEstimate, ...],
+    float,
+    float,
+    MetricsState | None,
+    tuple[dict[str, Any], ...],
+]
 
 
 def execute_job(payload: JobPayload) -> JobRecord:
@@ -56,12 +76,33 @@ def execute_job(payload: JobPayload) -> JobRecord:
     timing fields use :func:`time.monotonic`, which is system-wide on the
     platforms we support, so queue waits measured across fork boundaries
     stay meaningful.
+
+    Telemetry crosses the exec boundary in both directions: the payload's
+    trace context re-anchors spans opened here under the submitting batch
+    span (:func:`repro.obs.trace.trace_scope`), and — when the payload asks
+    for a harvest (process backend) — the worker-local metric activity of
+    the job is snapshotted as a delta and shipped back in the record for
+    the executor to merge, so ``metrics.snapshot()`` is backend-invariant.
+    Journal-worthy spans are collected rather than emitted (workers have no
+    journal attached) and replayed into the parent-side journal.
     """
-    index, job, seed_seq, submitted = payload
+    index, job, seed_seq, submitted, trace_ctx, harvest = payload
+    registry = get_registry()
+    before = registry.state() if harvest else None
     started = time.monotonic()
-    estimates = job.run(as_rng(seed_seq))
+    with trace_scope(trace_ctx), collect_spans() as records:
+        with span("exec.job", journal=True, index=index):
+            estimates = job.run(as_rng(seed_seq))
     finished = time.monotonic()
-    return index, estimates, max(0.0, started - submitted), finished - started
+    delta = delta_state(before, registry.state()) if before is not None else None
+    return (
+        index,
+        estimates,
+        max(0.0, started - submitted),
+        finished - started,
+        delta,
+        tuple(records),
+    )
 
 
 class SimulationBackend:
@@ -69,6 +110,11 @@ class SimulationBackend:
 
     #: short identifier used in metrics, journal events, and CLI flags
     name: str = "abstract"
+
+    #: whether jobs run in the submitting process and therefore increment
+    #: the parent metrics registry directly; when False (process backend)
+    #: the executor asks workers for metric deltas and merges them instead
+    shares_registry: bool = True
 
     def map_unordered(
         self, payloads: Sequence[JobPayload]
@@ -153,6 +199,7 @@ class ProcessBackend(_PooledBackend):
     """
 
     name = "process"
+    shares_registry = False
 
     def _make_pool(self) -> _FuturesExecutor:
         return ProcessPoolExecutor(max_workers=self.workers)

@@ -25,11 +25,13 @@ executor is passed.
 from __future__ import annotations
 
 import atexit
+import cProfile
 import itertools
 import os
 import threading
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from collections.abc import Sequence
 
 from repro.cascade.estimate import SpreadEstimate
@@ -44,14 +46,28 @@ from repro.exec.backends import (
 )
 from repro.exec.jobs import SimulationJob
 from repro.lint import contracts
-from repro.obs.journal import current_journal
+from repro.obs.journal import RunJournal, current_journal
 from repro.obs.log import get_logger
-from repro.obs.metrics import counter, histogram
+from repro.obs.metrics import counter, get_registry, histogram
+from repro.obs.trace import current_trace_context, span
 from repro.utils.rng import RandomSource, as_rng, spawn_seed_sequences
 
 #: Environment variables configuring the process-wide default executor.
 BACKEND_ENV_VAR = "REPRO_BACKEND"
 WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: ``REPRO_PROFILE=1`` wraps every batch in cProfile; ``REPRO_PROFILE_DIR``
+#: picks where the per-batch ``.prof`` dumps land (default ./repro-profiles).
+PROFILE_ENV_VAR = "REPRO_PROFILE"
+PROFILE_DIR_ENV_VAR = "REPRO_PROFILE_DIR"
+
+_PROFILE_OFF_VALUES = frozenset({"", "0", "false", "no", "off"})
+
+
+def profiling_enabled() -> bool:
+    """Whether the ``REPRO_PROFILE`` batch-profiling hook is active."""
+    raw = os.environ.get(PROFILE_ENV_VAR, "").strip().lower()
+    return raw not in _PROFILE_OFF_VALUES
 
 _LOG = get_logger("exec.executor")
 
@@ -158,19 +174,61 @@ class Executor:
         _JOBS_SUBMITTED.inc(len(jobs))
         for job in jobs:
             _JOBS_BY_KERNEL[resolve_kernel(getattr(job, "kernel", None))].inc()
-        submitted = time.monotonic()
-        payloads: list[JobPayload] = [
-            (i, job, sequences[i], submitted) for i, job in enumerate(jobs)
-        ]
+        # Harvest worker-local metric deltas only when workers do not share
+        # this process's registry (process backend): serial/thread jobs
+        # already increment it directly, so merging would double-count.
+        harvest = not self._backend.shares_registry
+        registry = get_registry()
+        profiler = cProfile.Profile() if profiling_enabled() else None
         outcomes: list[JobOutcome | None] = [None] * len(jobs)
-        for index, estimates, queue_wait, job_seconds in self._backend.map_unordered(
-            payloads
+        worker_spans: list[dict[str, object]] = []
+        with span(
+            "exec.batch",
+            journal=True,
+            batch_id=batch_id,
+            jobs=len(jobs),
+            backend=self.backend_name,
+            kernel=kernel,
         ):
-            outcomes[index] = JobOutcome(index, estimates, queue_wait, job_seconds)
-            _JOBS_COMPLETED.inc()
-            _QUEUE_WAIT_SECONDS.observe(queue_wait)
-            _JOB_SECONDS.observe(job_seconds)
-        elapsed = time.monotonic() - submitted
+            context = current_trace_context()
+            serialized = context.as_dict() if context is not None else None
+            submitted = time.monotonic()
+            payloads: list[JobPayload] = [
+                (i, job, sequences[i], submitted, serialized, harvest)
+                for i, job in enumerate(jobs)
+            ]
+            if profiler is not None:
+                profiler.enable()
+            try:
+                for (
+                    index,
+                    estimates,
+                    queue_wait,
+                    job_seconds,
+                    delta,
+                    span_records,
+                ) in self._backend.map_unordered(payloads):
+                    outcomes[index] = JobOutcome(
+                        index, estimates, queue_wait, job_seconds
+                    )
+                    _JOBS_COMPLETED.inc()
+                    _QUEUE_WAIT_SECONDS.observe(queue_wait)
+                    _JOB_SECONDS.observe(job_seconds)
+                    if harvest and delta is not None:
+                        registry.merge_delta(delta)
+                    worker_spans.extend(span_records)
+            finally:
+                if profiler is not None:
+                    profiler.disable()
+            elapsed = time.monotonic() - submitted
+        if sink is not None:
+            # Replay journal-worthy spans collected inside workers (which
+            # have no journal attached); their trace ids already parent
+            # them under this batch's span.
+            for record in worker_spans:
+                sink.emit("span", **record)
+        if profiler is not None:
+            self._dump_profile(profiler, batch_id, sink)
         _BATCH_SECONDS.observe(elapsed)
         missing = [i for i, outcome in enumerate(outcomes) if outcome is None]
         if missing:
@@ -202,6 +260,33 @@ class Executor:
             elapsed,
         )
         return completed
+
+    def _dump_profile(
+        self,
+        profiler: cProfile.Profile,
+        batch_id: int,
+        sink: RunJournal | None,
+    ) -> None:
+        """Write the batch's cProfile dump and journal a pointer to it.
+
+        Serial/thread backends profile the actual simulation work; the
+        process backend profiles only the submit/gather side (workers run
+        in other processes), which still surfaces pickling overheads.
+        """
+        directory = Path(
+            os.environ.get(PROFILE_DIR_ENV_VAR, "").strip() or "repro-profiles"
+        )
+        directory.mkdir(parents=True, exist_ok=True)
+        prof_path = directory / f"batch-{batch_id:05d}.prof"
+        profiler.dump_stats(str(prof_path))
+        _LOG.debug("batch %d profile dumped to %s", batch_id, prof_path)
+        if sink is not None:
+            sink.emit(
+                "profile",
+                batch_id=batch_id,
+                path=str(prof_path),
+                backend=self.backend_name,
+            )
 
     def estimates(
         self,

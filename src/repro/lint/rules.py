@@ -1,4 +1,4 @@
-"""The RP001–RP008 rule catalogue.
+"""The RP001–RP009 rule catalogue.
 
 Each rule is scoped to the packages where its invariant is load-bearing
 (see :meth:`~repro.lint.base.Rule.applies_to`); scoping is by path parts so
@@ -601,6 +601,89 @@ class UseSharedSnapshotPools(Rule):
         self.generic_visit(node)
 
 
+class UseSpanTiming(Rule):
+    """RP009: ad-hoc ``perf_counter()`` pairs bypass the tracing layer.
+
+    ``t0 = time.perf_counter(); ...; elapsed = time.perf_counter() - t0``
+    measures a duration that no one else can see: it has no trace id, no
+    histogram, and no journal record, so the waterfall in ``repro obs
+    trace`` and the monitor's span table silently omit it.  Wrapping the
+    region in :func:`repro.obs.trace.span` (or a
+    :class:`repro.utils.timing.Stopwatch` when a reusable timer object is
+    wanted) yields the same number *and* feeds the telemetry pipeline.
+    The ``repro/obs`` package and ``utils/timing.py`` implement the timing
+    primitives themselves and are exempt; call sites where the raw float
+    is the product (e.g. a journaled ``duration_seconds`` field) carry an
+    explicit suppression.
+    """
+
+    code: ClassVar[str] = "RP009"
+    name: ClassVar[str] = "use-span-timing"
+    rationale: ClassVar[str] = (
+        "raw perf_counter() timing pairs are invisible to the tracing "
+        "layer: no span record, no histogram, no trace id — the duration "
+        "exists only in a local variable"
+    )
+    hint: ClassVar[str] = (
+        "wrap the timed region in repro.obs.trace.span(...) (or a "
+        "utils.timing.Stopwatch); suppress with "
+        "'# reprolint: disable=RP009' where the raw duration itself is "
+        "the product (e.g. journaled duration_seconds fields)"
+    )
+
+    @classmethod
+    def applies_to(cls, module: tuple[str, ...]) -> bool:
+        if "obs" in module[:-1]:
+            return False  # the timing primitives themselves live here
+        return module[-2:] != ("utils", "timing.py")
+
+    def __init__(self, path: str, module: tuple[str, ...]):
+        super().__init__(path, module)
+        self._clock_names: set[str] = set()
+
+    @staticmethod
+    def _is_clock_call(node: ast.expr) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        name = dotted_name(node.func)
+        return name is not None and name.split(".")[-1] == "perf_counter"
+
+    def _is_clock_value(self, node: ast.expr) -> bool:
+        if self._is_clock_call(node):
+            return True
+        return isinstance(node, ast.Name) and node.id in self._clock_names
+
+    def _record_clock(self, target: ast.expr, value: ast.expr | None) -> None:
+        if value is None or not isinstance(target, ast.Name):
+            return
+        if self._is_clock_call(value):
+            self._clock_names.add(target.id)
+        elif target.id in self._clock_names:
+            self._clock_names.discard(target.id)  # rebound to something else
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_clock(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record_clock(node.target, node.value)
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if (
+            isinstance(node.op, ast.Sub)
+            and self._is_clock_value(node.left)
+            and self._is_clock_value(node.right)
+        ):
+            self.report(
+                node,
+                "ad-hoc perf_counter() timing pair; the duration is "
+                "invisible to spans/metrics/journal",
+            )
+        self.generic_visit(node)
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     NoGlobalRandom,
     NoFloatEquality,
@@ -610,6 +693,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     NoAdHocSimulationLoops,
     NoPerNodeDiffusionLoops,
     UseSharedSnapshotPools,
+    UseSpanTiming,
 )
 
 

@@ -9,7 +9,15 @@ Three independent sinks with one import surface:
 * :mod:`repro.obs.journal` — typed JSONL run journal written by
   ``estimate_payoff_table`` / ``get_real`` and read back into per-profile
   timing/variance reports;
-* :mod:`repro.obs.trace` — :func:`span` blocks feeding all of the above.
+* :mod:`repro.obs.trace` — hierarchical :func:`span` blocks feeding all of
+  the above; spans carry ``trace_id``/``span_id``/``parent_id`` and the
+  context crosses execution backends (:func:`trace_scope`);
+* :mod:`repro.obs.tracetree` — reassemble journaled spans into per-trace
+  waterfalls (``repro obs trace``);
+* :mod:`repro.obs.export` — Prometheus text-format / JSON metric export
+  (``repro obs export``);
+* :mod:`repro.obs.monitor` — live journal tail-follower and in-terminal
+  dashboard (``repro monitor``).
 """
 
 from repro.obs.log import (
@@ -24,7 +32,9 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    MetricsState,
     counter,
+    delta_state,
     gauge,
     get_registry,
     histogram,
@@ -44,7 +54,28 @@ from repro.obs.journal import (
     reconstruct_runs,
     render_journal_report,
 )
-from repro.obs.trace import Span, span
+from repro.obs.trace import (
+    Span,
+    TraceContext,
+    collect_spans,
+    current_trace_context,
+    span,
+    trace_scope,
+)
+from repro.obs.tracetree import SpanNode, Trace, build_traces, render_trace_tree
+from repro.obs.export import (
+    parse_prometheus_text,
+    registry_from_journal,
+    render_export,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.monitor import (
+    JournalTailer,
+    MonitorState,
+    render_dashboard,
+    run_monitor,
+)
 
 __all__ = [
     # log
@@ -58,7 +89,9 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsState",
     "counter",
+    "delta_state",
     "gauge",
     "histogram",
     "get_registry",
@@ -78,5 +111,25 @@ __all__ = [
     "render_journal_report",
     # trace
     "Span",
+    "TraceContext",
     "span",
+    "trace_scope",
+    "collect_spans",
+    "current_trace_context",
+    # trace tree
+    "SpanNode",
+    "Trace",
+    "build_traces",
+    "render_trace_tree",
+    # export
+    "to_prometheus",
+    "to_json",
+    "parse_prometheus_text",
+    "registry_from_journal",
+    "render_export",
+    # monitor
+    "JournalTailer",
+    "MonitorState",
+    "render_dashboard",
+    "run_monitor",
 ]

@@ -1,0 +1,186 @@
+"""Metric export: Prometheus text-format exposition and JSON snapshots.
+
+Turns a :func:`repro.obs.metrics.snapshot` into the two formats external
+consumers want:
+
+* :func:`to_prometheus` — the Prometheus text exposition format (0.0.4):
+  counters as ``<name>_total``, gauges as ``<name>``, histograms as
+  summaries (``_count``/``_sum``) plus ``_min``/``_max``/``_mean`` gauges.
+  Dotted instrument names sanitize to the Prometheus charset.
+* :func:`to_json` — the snapshot verbatim plus an ``exported_ts`` stamp.
+
+Both back ``repro obs export --format prom|json``.  Because a fresh CLI
+process has an empty registry, the command also accepts ``--journal`` and
+replays a recorded run journal into a synthetic registry first
+(:func:`registry_from_journal`) — span durations, batch/job counts, and
+per-event-type counters — so a finished run can be scraped after the fact.
+
+:func:`parse_prometheus_text` is a strict parser for the subset we emit;
+tests and the CI obs job use it to validate exposition output.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from repro.errors import JournalError
+from repro.obs.metrics import MetricsRegistry
+
+#: Prometheus metric-name charset ([a-zA-Z_:][a-zA-Z0-9_:]*).
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)\s+(?P<value>\S+)$"
+)
+_TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(?P<kind>counter|gauge|summary|histogram|untyped)$"
+)
+
+_VALID_TYPES = frozenset({"counter", "gauge", "summary", "histogram", "untyped"})
+
+
+def sanitize_metric_name(name: str, prefix: str = "repro_") -> str:
+    """Map a dotted instrument name onto the Prometheus charset."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    full = f"{prefix}{cleaned}"
+    if not _NAME_RE.match(full):
+        full = f"{prefix}_{re.sub(r'[^a-zA-Z0-9_]', '_', name)}"
+    return full
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    return repr(value)
+
+
+def to_prometheus(
+    snapshot: Mapping[str, Mapping[str, Any]], prefix: str = "repro_"
+) -> str:
+    """Render a metrics snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = sanitize_metric_name(name, prefix) + "_total"
+        lines.append(f"# HELP {metric} repro counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# HELP {metric} repro gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+    for name, stats in snapshot.get("histograms", {}).items():
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# HELP {metric} repro histogram {name}")
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_count {_fmt(stats['count'])}")
+        lines.append(f"{metric}_sum {_fmt(stats['total'])}")
+        for suffix in ("min", "max", "mean"):
+            aux = f"{metric}_{suffix}"
+            lines.append(f"# TYPE {aux} gauge")
+            lines.append(f"{aux} {_fmt(stats[suffix])}")
+    return "\n".join(lines) + "\n"
+
+
+def to_json(snapshot: Mapping[str, Mapping[str, Any]]) -> str:
+    """Render a metrics snapshot as a JSON document with an export stamp."""
+    payload = {"exported_ts": time.time(), **{k: dict(v) for k, v in snapshot.items()}}
+    return json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+
+
+def parse_prometheus_text(text: str) -> dict[str, float]:
+    """Parse (and validate) the exposition subset :func:`to_prometheus` emits.
+
+    Returns ``{metric_name: value}``.  Raises :class:`ValueError` on any
+    malformed line, unknown TYPE, or sample whose value does not parse as a
+    float — the CI obs job runs exported output through this.
+    """
+    samples: dict[str, float] = {}
+    typed: dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            match = _TYPE_RE.match(line)
+            if match is None:
+                raise ValueError(f"line {lineno}: malformed TYPE line: {raw!r}")
+            typed[match.group("name")] = match.group("kind")
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"line {lineno}: unknown comment form: {raw!r}")
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample: {raw!r}")
+        name = match.group("name")
+        try:
+            value = float(match.group("value"))
+        except ValueError as exc:
+            raise ValueError(
+                f"line {lineno}: non-numeric sample value: {raw!r}"
+            ) from exc
+        if name in samples:
+            raise ValueError(f"line {lineno}: duplicate sample for {name!r}")
+        samples[name] = value
+    for name, kind in typed.items():
+        if kind not in _VALID_TYPES:
+            raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+    return samples
+
+
+def registry_from_journal(
+    events: Sequence[Mapping[str, Any]],
+) -> MetricsRegistry:
+    """Rebuild a synthetic metrics registry from a recorded run journal.
+
+    The journal does not carry raw metric state, but its typed events are
+    enough to reconstruct the scrape-worthy aggregates: per-event-type
+    counters, ``span.<name>.seconds`` histograms from ``span`` events,
+    batch/job totals and batch-duration histograms from ``batch_done``,
+    profile timings from ``profile_done``, and cache hit/miss counters
+    from ``cache`` events.
+    """
+    registry = MetricsRegistry()
+    for event in events:
+        kind = str(event.get("event", "?"))
+        registry.counter(f"journal.events_{kind}").inc()
+        if kind == "span":
+            name = str(event.get("name", "?"))
+            registry.histogram(f"span.{name}.seconds").observe(
+                float(event.get("duration_seconds", 0.0))
+            )
+        elif kind == "batch_done":
+            registry.counter("exec.batches").inc()
+            registry.counter("exec.jobs_completed").inc(
+                int(event.get("jobs", 0))
+            )
+            registry.histogram("exec.batch_seconds").observe(
+                float(event.get("duration_seconds", 0.0))
+            )
+        elif kind == "profile_done":
+            registry.counter("payoff.profiles_estimated").inc()
+            registry.histogram("payoff.profile_seconds").observe(
+                float(event.get("duration_seconds", 0.0))
+            )
+        elif kind == "cache":
+            op = str(event.get("op", "?"))
+            registry.counter(f"cache.journal_{op}").inc()
+    return registry
+
+
+def render_export(
+    snapshot: Mapping[str, Mapping[str, Any]], fmt: str
+) -> str:
+    """Dispatch on the CLI ``--format`` value (``prom`` or ``json``)."""
+    if fmt == "prom":
+        return to_prometheus(snapshot)
+    if fmt == "json":
+        return to_json(snapshot)
+    raise JournalError(f"unknown export format {fmt!r}; use 'prom' or 'json'")

@@ -63,6 +63,7 @@ EVENT_TYPES = (
     "batch_start",
     "batch_done",
     "cache",
+    "profile",
 )
 
 
@@ -277,13 +278,20 @@ def attached(journal: RunJournal) -> Iterator[RunJournal]:
 # ---------------------------------------------------------------------- #
 
 
-def read_journal(path: str | Path) -> list[dict[str, Any]]:
-    """Parse a JSONL journal file into a list of event dicts."""
+def read_journal(path: str | Path, strict: bool = True) -> list[dict[str, Any]]:
+    """Parse a JSONL journal file into a list of event dicts.
+
+    With ``strict=False``, malformed lines — interleaved half-writes from a
+    crashed process, or a truncated trailing line from a live writer — are
+    skipped instead of raising, which is what journal-consuming tools
+    (``repro obs trace``, the monitor, the exporter) want when pointed at a
+    journal that is still being written.
+    """
     path = Path(path)
     if not path.exists():
         raise JournalError(f"journal file not found: {path}")
     events: list[dict[str, Any]] = []
-    with open(path, encoding="utf-8") as handle:
+    with open(path, encoding="utf-8", errors="replace") as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
@@ -291,13 +299,17 @@ def read_journal(path: str | Path) -> list[dict[str, Any]]:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise JournalError(
-                    f"{path}:{lineno}: not valid JSON ({exc})"
-                ) from exc
+                if strict:
+                    raise JournalError(
+                        f"{path}:{lineno}: not valid JSON ({exc})"
+                    ) from exc
+                continue
             if not isinstance(record, dict) or "event" not in record:
-                raise JournalError(
-                    f"{path}:{lineno}: journal records need an 'event' field"
-                )
+                if strict:
+                    raise JournalError(
+                        f"{path}:{lineno}: journal records need an 'event' field"
+                    )
+                continue
             events.append(record)
     return events
 
@@ -337,25 +349,52 @@ def reconstruct_runs(events: Sequence[Mapping[str, Any]]) -> list[RunRecord]:
     Events arriving before any ``run_start`` (e.g. a bare
     ``estimate_payoff_table`` call with a journal attached but no
     surrounding ``get_real``) are collected into a synthetic run 0.
+
+    Runs are matched by ``run_id``, so journals with **interleaved** runs —
+    several processes appending to one file — reconstruct correctly:
+    each event routes to the open run carrying its ``run_id``, falling back
+    to the most recently opened run for id-less events.  Span events (which
+    belong to the trace tree, not the run ledger) and unknown event types
+    are tolerated and skipped.
     """
     runs: list[RunRecord] = []
-    current: RunRecord | None = None
+    open_runs: dict[str, RunRecord] = {}
+    last_opened: RunRecord | None = None
+
+    def route(event: Mapping[str, Any]) -> RunRecord:
+        nonlocal last_opened
+        run_id = event.get("run_id")
+        if run_id is not None and str(run_id) in open_runs:
+            return open_runs[str(run_id)]
+        if last_opened is not None and last_opened.end is None:
+            return last_opened
+        record = RunRecord(index=len(runs))
+        runs.append(record)
+        if run_id is not None:
+            open_runs[str(run_id)] = record
+        last_opened = record
+        return record
+
     for event in events:
         kind = event.get("event")
         if kind == "run_start":
-            current = RunRecord(index=len(runs), start=dict(event))
-            runs.append(current)
+            record = RunRecord(index=len(runs), start=dict(event))
+            runs.append(record)
+            run_id = event.get("run_id")
+            if run_id is not None:
+                open_runs[str(run_id)] = record
+            last_opened = record
             continue
-        if current is None:
-            current = RunRecord(index=len(runs))
-            runs.append(current)
         if kind == "profile_done":
-            current.profiles.append(dict(event))
+            route(event).profiles.append(dict(event))
         elif kind == "equilibrium_found":
-            current.equilibrium = dict(event)
+            route(event).equilibrium = dict(event)
         elif kind == "run_end":
-            current.end = dict(event)
-            current = None
+            record = route(event)
+            record.end = dict(event)
+            run_id = event.get("run_id")
+            if run_id is not None:
+                open_runs.pop(str(run_id), None)
     return runs
 
 

@@ -4,14 +4,20 @@ The simulation stack increments these from its hot paths (simulations run,
 nodes activated, seed collisions resolved, frontier sizes, per-profile wall
 time).  The design goals are:
 
-* **negligible overhead when nobody is looking** — an increment is a couple
-  of attribute updates on a plain Python object; no locks on the hot path,
-  no string formatting, no I/O;
+* **cheap, thread-safe increments** — every instrument shares its
+  registry's lock (one uncontended lock acquire per update; no string
+  formatting, no I/O), so concurrent jobs on the thread backend can never
+  drop increments;
 * **stable handles** — modules cache ``counter("cascade.simulations")`` at
   import time; :meth:`MetricsRegistry.reset` zeroes instruments *in place*
   so cached handles stay live across resets;
 * **one snapshot call** — :func:`snapshot` returns a plain nested dict
-  ready for JSON, tables, or assertions in tests.
+  ready for JSON, tables, or assertions in tests;
+* **mergeable state** — :meth:`MetricsRegistry.state`,
+  :func:`delta_state`, and :meth:`MetricsRegistry.merge_delta` let the
+  execution engine harvest the metric activity of a worker process and
+  fold it into the parent registry, making snapshots backend-invariant
+  (see ``docs/observability.md``).
 
 Instrument names are dotted paths (``layer.subject[.detail]``), e.g.
 ``cascade.simulations``, ``payoff.profile_seconds``,
@@ -22,42 +28,62 @@ from __future__ import annotations
 
 import math
 import threading
-from collections.abc import Iterator
+from collections.abc import Iterator, Mapping
+from typing import Any
+
+#: Raw-state type: what ``MetricsRegistry.state`` returns and what
+#: ``delta_state`` / ``merge_delta`` consume.  Plain nested dicts of floats
+#: so states pickle cheaply across the process-backend boundary.
+MetricsState = dict[str, dict[str, Any]]
 
 
 class Counter:
     """Monotonically increasing count (resettable to zero)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, lock: threading.RLock | None = None):
         self.name = name
-        self.value = 0
+        self.value: int | float = 0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def inc(self, amount: int | float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, value={self.value})"
 
 
 class Gauge:
-    """Last-written value (e.g. current graph size, active journal)."""
+    """Last-written value (e.g. current graph size, active journal).
 
-    __slots__ = ("name", "value")
+    ``writes`` counts :meth:`set` calls so a state diff can tell "written
+    during the window" apart from "still holding the same value" — the
+    last-write-wins merge only transfers gauges the worker actually set.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "value", "writes", "_lock")
+
+    def __init__(self, name: str, lock: threading.RLock | None = None):
         self.name = name
         self.value = 0.0
+        self.writes = 0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
+            self.writes += 1
 
     def reset(self) -> None:
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
+            self.writes = 0
 
     def __repr__(self) -> str:
         return f"Gauge({self.name!r}, value={self.value})"
@@ -66,48 +92,87 @@ class Gauge:
 class Histogram:
     """Streaming aggregate of observed values (count/mean/std/min/max).
 
-    Keeps O(1) state — count, total, sum of squares, extrema — rather than
-    samples, so observing from a loop that runs thousands of times per
-    second is safe.
+    Keeps O(1) state — count, running mean, sum of squared deviations
+    (Welford's online algorithm), extrema — rather than samples, so
+    observing from a loop that runs thousands of times per second is safe.
+    Welford's recurrence avoids the catastrophic cancellation of the naive
+    ``E[x²] − mean²`` estimator for large-offset values (e.g. epoch
+    timestamps), and the (count, mean, M2) triple merges exactly across
+    registries via Chan's parallel combination.
     """
 
-    __slots__ = ("name", "count", "total", "sum_squares", "min", "max")
+    __slots__ = ("name", "count", "_mean", "_m2", "min", "max", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, lock: threading.RLock | None = None):
         self.name = name
         self.count = 0
-        self.total = 0.0
-        self.sum_squares = 0.0
+        self._mean = 0.0
+        self._m2 = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._lock = lock if lock is not None else threading.RLock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        self.sum_squares += value * value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        with self._lock:
+            self.count += 1
+            delta = value - self._mean
+            self._mean += delta / self.count
+            self._m2 += delta * (value - self._mean)
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        return self._mean if self.count else 0.0
+
+    @property
+    def total(self) -> float:
+        return self._mean * self.count
 
     @property
     def std(self) -> float:
         if self.count < 2:
             return 0.0
-        variance = self.sum_squares / self.count - self.mean**2
-        return math.sqrt(max(0.0, variance))
+        return math.sqrt(max(0.0, self._m2 / self.count))
 
     def reset(self) -> None:
-        self.count = 0
-        self.total = 0.0
-        self.sum_squares = 0.0
-        self.min = math.inf
-        self.max = -math.inf
+        with self._lock:
+            self.count = 0
+            self._mean = 0.0
+            self._m2 = 0.0
+            self.min = math.inf
+            self.max = -math.inf
+
+    def state(self) -> dict[str, float]:
+        """Raw (count, mean, M2, min, max) tuple as a picklable dict."""
+        with self._lock:
+            return {
+                "count": self.count,
+                "mean": self._mean,
+                "m2": self._m2,
+                "min": self.min,
+                "max": self.max,
+            }
+
+    def merge_state(self, other: Mapping[str, float]) -> None:
+        """Fold another histogram's raw state in (Chan's parallel merge)."""
+        n_b = int(other.get("count", 0))
+        if n_b <= 0:
+            return
+        mean_b = float(other.get("mean", 0.0))
+        m2_b = float(other.get("m2", 0.0))
+        with self._lock:
+            n_a = self.count
+            n = n_a + n_b
+            delta = mean_b - self._mean
+            self._mean += delta * n_b / n
+            self._m2 += m2_b + delta * delta * n_a * n_b / n
+            self.count = n
+            self.min = min(self.min, float(other.get("min", math.inf)))
+            self.max = max(self.max, float(other.get("max", -math.inf)))
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -126,12 +191,13 @@ class Histogram:
 class MetricsRegistry:
     """Named instruments with get-or-create semantics.
 
-    Creation takes a lock (it happens once per instrument); increments on
-    the returned objects are lock-free.
+    One re-entrant lock per registry guards instrument creation *and* every
+    update on the instruments it hands out, so thread-backend jobs racing
+    on ``Counter.inc`` can never drop increments.
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = threading.RLock()
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
@@ -141,31 +207,71 @@ class MetricsRegistry:
             return self._counters[name]
         except KeyError:
             with self._lock:
-                return self._counters.setdefault(name, Counter(name))
+                return self._counters.setdefault(name, Counter(name, self._lock))
 
     def gauge(self, name: str) -> Gauge:
         try:
             return self._gauges[name]
         except KeyError:
             with self._lock:
-                return self._gauges.setdefault(name, Gauge(name))
+                return self._gauges.setdefault(name, Gauge(name, self._lock))
 
     def histogram(self, name: str) -> Histogram:
         try:
             return self._histograms[name]
         except KeyError:
             with self._lock:
-                return self._histograms.setdefault(name, Histogram(name))
+                return self._histograms.setdefault(
+                    name, Histogram(name, self._lock)
+                )
 
     def snapshot(self) -> dict[str, dict[str, object]]:
         """Plain-dict view of every instrument (JSON/table ready)."""
-        return {
-            "counters": {n: c.value for n, c in sorted(self._counters.items())},
-            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
-            "histograms": {
-                n: h.as_dict() for n, h in sorted(self._histograms.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: h.as_dict() for n, h in sorted(self._histograms.items())
+                },
+            }
+
+    # ------------------------------------------------------------------ #
+    # cross-process harvest: state / delta / merge
+    # ------------------------------------------------------------------ #
+
+    def state(self) -> MetricsState:
+        """Raw mergeable state of every instrument (picklable).
+
+        Unlike :meth:`snapshot` (a human/JSON view), the state keeps the
+        internal accumulators (Welford M2, gauge write counts) that
+        :func:`delta_state` and :meth:`merge_delta` need for exact
+        cross-process accounting.
+        """
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in self._counters.items()},
+                "gauges": {
+                    n: {"value": g.value, "writes": g.writes}
+                    for n, g in self._gauges.items()
+                },
+                "histograms": {
+                    n: h.state() for n, h in self._histograms.items()
+                },
+            }
+
+    def merge_delta(self, delta: MetricsState) -> None:
+        """Fold a :func:`delta_state` result into this registry.
+
+        Counters add, gauges take the delta's value (last write wins),
+        histograms merge their (count, mean, M2, min, max) state exactly.
+        """
+        for name, amount in delta.get("counters", {}).items():
+            self.counter(name).inc(amount)
+        for name, payload in delta.get("gauges", {}).items():
+            self.gauge(name).set(float(payload["value"]))
+        for name, payload in delta.get("histograms", {}).items():
+            self.histogram(name).merge_state(payload)
 
     def reset(self) -> None:
         """Zero every instrument **in place** (cached handles stay valid)."""
@@ -197,6 +303,61 @@ class MetricsRegistry:
                 }
             )
         return out
+
+
+def delta_state(before: MetricsState, after: MetricsState) -> MetricsState:
+    """The metric activity between two :meth:`MetricsRegistry.state` calls.
+
+    Returns a sparse state containing only what changed: counter
+    *increments*, gauges whose write count moved (carrying their final
+    value), and per-histogram (count, mean, M2, min, max) deltas obtained
+    by inverting Chan's combination formula.  The result feeds
+    :meth:`MetricsRegistry.merge_delta` in another process.
+
+    The histogram min/max fields carry the *after* extrema: a window-exact
+    minimum is not recoverable from aggregates, but re-merging a worker's
+    lifetime extremum is idempotent (``min`` of mins), so parent-side
+    extrema still converge to the true values.
+    """
+    delta: MetricsState = {"counters": {}, "gauges": {}, "histograms": {}}
+    before_counters = before.get("counters", {})
+    for name, value in after.get("counters", {}).items():
+        moved = value - before_counters.get(name, 0)
+        if moved:
+            delta["counters"][name] = moved
+    before_gauges = before.get("gauges", {})
+    for name, payload in after.get("gauges", {}).items():
+        prior = before_gauges.get(name)
+        if prior is None or payload["writes"] != prior["writes"]:
+            delta["gauges"][name] = {"value": payload["value"]}
+    before_hists = before.get("histograms", {})
+    for name, payload in after.get("histograms", {}).items():
+        prior = before_hists.get(
+            name, {"count": 0, "mean": 0.0, "m2": 0.0}
+        )
+        n_a = int(prior["count"])
+        n_ab = int(payload["count"])
+        n_b = n_ab - n_a
+        if n_b <= 0:
+            continue
+        mean_a = float(prior["mean"])
+        mean_ab = float(payload["mean"])
+        # Invert Chan's merge: recover the window's (mean, M2) from the
+        # combined and the prior aggregates.
+        mean_b = (n_ab * mean_ab - n_a * mean_a) / n_b
+        m2_b = (
+            float(payload["m2"])
+            - float(prior["m2"])
+            - (mean_b - mean_a) ** 2 * n_a * n_b / n_ab
+        )
+        delta["histograms"][name] = {
+            "count": n_b,
+            "mean": mean_b,
+            "m2": max(0.0, m2_b),
+            "min": float(payload["min"]),
+            "max": float(payload["max"]),
+        }
+    return delta
 
 
 #: The process-wide default registry used by the simulation stack.

@@ -1,0 +1,354 @@
+"""Live run monitor: tail-follow a JSONL run journal and render a dashboard.
+
+``python -m repro monitor <journal.jsonl>`` watches a journal as a run
+writes it and redraws an in-terminal dashboard: run status, batch
+throughput, cumulative span time, and cache hit rate.  This is the first
+consumer of the journal *streaming* path (the future web dashboard reuses
+:class:`JournalTailer` + :class:`MonitorState`), so the tailer is built for
+real-world files:
+
+* **partial lines** — a half-written JSON line stays buffered until its
+  newline arrives; it is never parsed early and never corrupts the stream;
+* **malformed lines** — counted and skipped, not fatal (a crashed writer
+  can leave interleaved or truncated garbage);
+* **rotation/truncation** — if the file is replaced (new inode) or
+  truncated (size shrinks below the read offset), the tailer reopens from
+  the start;
+* **late creation** — monitoring a path that does not exist yet simply
+  waits for it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Callable, Iterable, Mapping
+from typing import IO, Any
+
+from repro.utils.tables import format_table
+
+#: Sliding window (seconds) for the batch-throughput estimate.
+THROUGHPUT_WINDOW_SECONDS = 60.0
+
+
+class JournalTailer:
+    """Incremental reader for a (possibly still growing) JSONL journal."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.malformed = 0
+        self._handle: IO[str] | None = None
+        self._buffer = ""
+        self._inode: int | None = None
+
+    @property
+    def has_partial_line(self) -> bool:
+        """A trailing line fragment is buffered, awaiting its newline."""
+        return bool(self._buffer)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def _reopen(self) -> None:
+        self.close()
+        self._buffer = ""
+        try:
+            stat = os.stat(self.path)
+        except FileNotFoundError:
+            self._inode = None
+            return
+        self._handle = open(self.path, encoding="utf-8", errors="replace")
+        self._inode = stat.st_ino
+
+    def _detect_rotation(self) -> None:
+        try:
+            stat = os.stat(self.path)
+        except FileNotFoundError:
+            # Rotated away with no replacement yet: finish draining the old
+            # handle; a later poll reopens when the path reappears.
+            return
+        if self._handle is None:
+            self._reopen()
+            return
+        if stat.st_ino != self._inode or stat.st_size < self._handle.tell():
+            self._reopen()
+
+    def poll(self) -> list[dict[str, Any]]:
+        """Parse and return every complete event line appended since last poll."""
+        self._detect_rotation()
+        if self._handle is None:
+            return []
+        chunk = self._handle.read()
+        if not chunk and not self._buffer:
+            return []
+        self._buffer += chunk
+        events: list[dict[str, Any]] = []
+        while True:
+            newline = self._buffer.find("\n")
+            if newline < 0:
+                break
+            line, self._buffer = (
+                self._buffer[:newline],
+                self._buffer[newline + 1 :],
+            )
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                self.malformed += 1
+                continue
+            if not isinstance(record, dict) or "event" not in record:
+                self.malformed += 1
+                continue
+            events.append(record)
+        return events
+
+    def __enter__(self) -> "JournalTailer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@dataclass
+class _RunView:
+    run_id: str
+    command: str = "?"
+    status: str = "running"
+    profiles: int = 0
+    equilibrium: str = ""
+    duration_seconds: float | None = None
+
+
+@dataclass
+class MonitorState:
+    """Streaming aggregation of journal events for the dashboard."""
+
+    events: int = 0
+    last_ts: float | None = None
+    event_counts: dict[str, int] = field(default_factory=dict)
+    runs: list[_RunView] = field(default_factory=list)
+    batches: int = 0
+    jobs_completed: int = 0
+    batch_seconds_total: float = 0.0
+    recent_batches: list[tuple[float, int]] = field(default_factory=list)
+    span_totals: dict[str, tuple[int, float]] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_entries: int = 0
+
+    def _open_run(self, run_id: str) -> _RunView | None:
+        for view in reversed(self.runs):
+            if view.run_id == run_id and view.status == "running":
+                return view
+        return None
+
+    def apply(self, event: Mapping[str, Any]) -> None:
+        kind = str(event.get("event", "?"))
+        self.events += 1
+        self.event_counts[kind] = self.event_counts.get(kind, 0) + 1
+        ts = event.get("ts")
+        if ts is not None:
+            self.last_ts = float(ts)
+        run_id = str(event.get("run_id", "?"))
+        if kind == "run_start":
+            self.runs.append(
+                _RunView(run_id=run_id, command=str(event.get("command", "?")))
+            )
+        elif kind == "profile_done":
+            view = self._open_run(run_id)
+            if view is None:
+                view = _RunView(run_id=run_id)
+                self.runs.append(view)
+            view.profiles += 1
+        elif kind == "equilibrium_found":
+            view = self._open_run(run_id)
+            if view is not None:
+                view.equilibrium = str(event.get("kind", ""))
+        elif kind == "run_end":
+            view = self._open_run(run_id)
+            if view is None:
+                view = _RunView(run_id=run_id)
+                self.runs.append(view)
+            view.status = str(event.get("status", "?"))
+            if "duration_seconds" in event:
+                view.duration_seconds = float(event["duration_seconds"])
+        elif kind == "batch_done":
+            jobs = int(event.get("jobs", 0))
+            self.batches += 1
+            self.jobs_completed += jobs
+            self.batch_seconds_total += float(
+                event.get("duration_seconds", 0.0)
+            )
+            stamp = float(event.get("ts", 0.0))
+            self.recent_batches.append((stamp, jobs))
+        elif kind == "span":
+            name = str(event.get("name", "?"))
+            count, total = self.span_totals.get(name, (0, 0.0))
+            self.span_totals[name] = (
+                count + 1,
+                total + float(event.get("duration_seconds", 0.0)),
+            )
+        elif kind == "cache":
+            op = str(event.get("op", ""))
+            if op == "hit":
+                self.cache_hits += 1
+            elif op == "miss":
+                self.cache_misses += 1
+            self.cache_entries = int(event.get("entries", self.cache_entries))
+
+    def update(self, events: Iterable[Mapping[str, Any]]) -> None:
+        for event in events:
+            self.apply(event)
+
+    def throughput_jobs_per_second(self, now: float | None = None) -> float:
+        """Completed jobs/second over the recent sliding window."""
+        if not self.recent_batches:
+            return 0.0
+        now = now if now is not None else time.time()
+        horizon = now - THROUGHPUT_WINDOW_SECONDS
+        self.recent_batches = [
+            entry for entry in self.recent_batches if entry[0] >= horizon
+        ]
+        jobs = sum(jobs for _, jobs in self.recent_batches)
+        if not jobs:
+            return 0.0
+        earliest = min(stamp for stamp, _ in self.recent_batches)
+        elapsed = max(now - earliest, 1e-9)
+        return jobs / elapsed
+
+    @property
+    def cache_hit_rate(self) -> float | None:
+        lookups = self.cache_hits + self.cache_misses
+        if not lookups:
+            return None
+        return self.cache_hits / lookups
+
+
+def render_dashboard(
+    state: MonitorState,
+    path: str | Path,
+    tailer: JournalTailer | None = None,
+    top_spans: int = 10,
+    now: float | None = None,
+) -> str:
+    """Plain-text dashboard panel for the current monitor state."""
+    now = now if now is not None else time.time()
+    lines: list[str] = [f"repro run monitor — {path}"]
+    status = f"events: {state.events}"
+    if tailer is not None and tailer.malformed:
+        status += f" ({tailer.malformed} malformed line(s) skipped)"
+    if tailer is not None and tailer.has_partial_line:
+        status += "  [partial line buffered]"
+    if state.last_ts is not None:
+        status += f"   last event: {max(0.0, now - state.last_ts):.1f}s ago"
+    lines.append(status)
+    lines.append("")
+
+    if state.runs:
+        run_rows = [
+            {
+                "run": index,
+                "command": view.command,
+                "status": view.status,
+                "profiles": view.profiles,
+                "equilibrium": view.equilibrium,
+                "seconds": (
+                    round(view.duration_seconds, 3)
+                    if view.duration_seconds is not None
+                    else ""
+                ),
+            }
+            for index, view in enumerate(state.runs)
+        ]
+        lines.append(format_table(run_rows, title="runs"))
+    else:
+        lines.append("(no runs yet)")
+    lines.append("")
+
+    rate = state.throughput_jobs_per_second(now=now)
+    mean_batch = (
+        state.batch_seconds_total / state.batches if state.batches else 0.0
+    )
+    lines.append(
+        f"batches: {state.batches}   jobs: {state.jobs_completed}   "
+        f"throughput: {rate:.1f} jobs/s (window {THROUGHPUT_WINDOW_SECONDS:.0f}s)   "
+        f"mean batch: {mean_batch:.3f}s"
+    )
+
+    if state.span_totals:
+        ranked = sorted(
+            state.span_totals.items(), key=lambda kv: kv[1][1], reverse=True
+        )[:top_spans]
+        span_rows = [
+            {"span": name, "count": count, "total_seconds": round(total, 4)}
+            for name, (count, total) in ranked
+        ]
+        lines.append("")
+        lines.append(format_table(span_rows, title="cumulative span time"))
+
+    hit_rate = state.cache_hit_rate
+    cache_line = (
+        f"cache: {state.cache_hits} hit(s), {state.cache_misses} miss(es)"
+    )
+    if hit_rate is not None:
+        cache_line += f", hit rate {hit_rate:.1%}"
+    cache_line += f", {state.cache_entries} entrie(s)"
+    lines.append("")
+    lines.append(cache_line)
+    return "\n".join(lines)
+
+
+def run_monitor(
+    path: str | Path,
+    interval: float = 0.5,
+    once: bool = False,
+    duration: float | None = None,
+    clear_screen: bool | None = None,
+    top_spans: int = 10,
+    stop: Callable[[], bool] | None = None,
+    stream: IO[str] | None = None,
+) -> int:
+    """Drive the monitor loop (the ``repro monitor`` command body).
+
+    ``once`` renders a single dashboard from the journal's current contents
+    and returns (used by the CI smoke test); otherwise the loop follows the
+    file until *duration* seconds elapse, *stop* returns true, or Ctrl-C.
+    """
+    out = stream if stream is not None else sys.stdout
+    if clear_screen is None:
+        clear_screen = not once and out.isatty()
+    state = MonitorState()
+    started = time.monotonic()
+    with JournalTailer(path) as tailer:
+        try:
+            while True:
+                state.update(tailer.poll())
+                panel = render_dashboard(
+                    state, path, tailer=tailer, top_spans=top_spans
+                )
+                if clear_screen:
+                    out.write("\x1b[2J\x1b[H")
+                out.write(panel + "\n")
+                out.flush()
+                if once:
+                    break
+                if stop is not None and stop():
+                    break
+                if (
+                    duration is not None
+                    and time.monotonic() - started >= duration
+                ):
+                    break
+                time.sleep(interval)
+        except KeyboardInterrupt:
+            pass
+    return 0

@@ -1,0 +1,150 @@
+"""Span-tree reconstruction and rendering for ``repro obs trace``.
+
+Takes the flat ``span`` events of a run journal (each carrying
+``trace_id``/``span_id``/``parent_id``/``start_ts``/``duration_seconds``
+since the hierarchical-tracing refactor) and rebuilds the causal tree, then
+renders a per-trace waterfall with **total** time, **self** time (total
+minus direct children), and each span's share of its trace.
+
+Legacy journals whose span events predate the id fields degrade gracefully:
+id-less spans render as independent single-node traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+#: Children rendered per node before eliding the rest into a summary line.
+DEFAULT_MAX_CHILDREN = 20
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span plus its children."""
+
+    record: dict[str, Any]
+    children: list["SpanNode"] = field(default_factory=list)
+    orphaned: bool = False
+
+    @property
+    def name(self) -> str:
+        return str(self.record.get("name", "?"))
+
+    @property
+    def span_id(self) -> str | None:
+        value = self.record.get("span_id")
+        return str(value) if value is not None else None
+
+    @property
+    def start_ts(self) -> float:
+        return float(self.record.get("start_ts", self.record.get("ts", 0.0)))
+
+    @property
+    def duration(self) -> float:
+        return float(self.record.get("duration_seconds", 0.0))
+
+    @property
+    def self_time(self) -> float:
+        """Duration not accounted for by direct children (clamped at 0)."""
+        return max(0.0, self.duration - sum(c.duration for c in self.children))
+
+
+@dataclass
+class Trace:
+    """All spans sharing one ``trace_id``, as a forest of roots."""
+
+    trace_id: str
+    roots: list[SpanNode]
+
+    @property
+    def span_count(self) -> int:
+        def count(node: SpanNode) -> int:
+            return 1 + sum(count(child) for child in node.children)
+
+        return sum(count(root) for root in self.roots)
+
+    @property
+    def duration(self) -> float:
+        return sum(root.duration for root in self.roots)
+
+
+def build_traces(events: Sequence[Mapping[str, Any]]) -> list[Trace]:
+    """Group span *events* by trace id and link children to parents.
+
+    Spans whose ``parent_id`` never appears in the stream (the parent span
+    was not journaled, or the line was lost) are kept as extra roots and
+    flagged ``orphaned``; spans without ids at all become single-node
+    traces keyed ``"untraced"``.
+    """
+    spans = [dict(e) for e in events if e.get("event") == "span"]
+    by_trace: dict[str, list[SpanNode]] = {}
+    for record in spans:
+        trace_id = str(record.get("trace_id") or "untraced")
+        by_trace.setdefault(trace_id, []).append(SpanNode(record))
+    traces: list[Trace] = []
+    for trace_id, nodes in by_trace.items():
+        by_id = {
+            node.span_id: node for node in nodes if node.span_id is not None
+        }
+        roots: list[SpanNode] = []
+        for node in nodes:
+            parent_id = node.record.get("parent_id")
+            parent = by_id.get(str(parent_id)) if parent_id else None
+            if parent is not None and parent is not node:
+                parent.children.append(node)
+            else:
+                node.orphaned = parent_id is not None
+                roots.append(node)
+        for node in nodes:
+            node.children.sort(key=lambda n: n.start_ts)
+        roots.sort(key=lambda n: n.start_ts)
+        traces.append(Trace(trace_id=trace_id, roots=roots))
+    traces.sort(key=lambda t: min((r.start_ts for r in t.roots), default=0.0))
+    return traces
+
+
+def _render_node(
+    node: SpanNode,
+    depth: int,
+    trace_duration: float,
+    lines: list[str],
+    max_children: int,
+) -> None:
+    share = node.duration / trace_duration if trace_duration > 0 else 0.0
+    marker = " (orphan)" if node.orphaned else ""
+    label = f"{'  ' * depth}{node.name}{marker}"
+    lines.append(
+        f"{label:<48} {node.duration:>10.4f}s total "
+        f"{node.self_time:>10.4f}s self {share:>6.1%}"
+    )
+    shown = node.children[:max_children]
+    for child in shown:
+        _render_node(child, depth + 1, trace_duration, lines, max_children)
+    hidden = node.children[max_children:]
+    if hidden:
+        lines.append(
+            f"{'  ' * (depth + 1)}... {len(hidden)} more child span(s), "
+            f"{sum(c.duration for c in hidden):.4f}s"
+        )
+
+
+def render_trace_tree(
+    events: Sequence[Mapping[str, Any]],
+    max_children: int = DEFAULT_MAX_CHILDREN,
+) -> str:
+    """Human-readable span waterfall for every trace in *events*."""
+    traces = build_traces(events)
+    if not traces:
+        return "(no span events in journal)"
+    sections: list[str] = []
+    for trace in traces:
+        lines = [
+            f"trace {trace.trace_id}  "
+            f"({trace.span_count} span(s), {trace.duration:.4f}s)"
+        ]
+        for root in trace.roots:
+            _render_node(root, 1, trace.duration, lines, max_children)
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)

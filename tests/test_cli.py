@@ -227,3 +227,56 @@ class TestGetRealCommand:
             if event.get("event") == "batch_done"
         }
         assert kernels == {"numpy"}
+
+
+class TestObsCommands:
+    FIXTURE = os.path.join(
+        os.path.dirname(__file__), "fixtures", "run_journal.jsonl"
+    )
+
+    def test_obs_trace_renders_span_tree(self, capsys):
+        assert main(["obs", "trace", self.FIXTURE]) == 0
+        out = capsys.readouterr().out
+        assert "getreal.run" in out
+        assert "exec.batch" in out
+        assert "self" in out  # self-time column present
+
+    def test_obs_trace_max_children_elides(self, capsys):
+        assert main(["obs", "trace", self.FIXTURE, "--max-children", "2"]) == 0
+        assert "more child span(s)" in capsys.readouterr().out
+
+    def test_obs_export_prom_is_parseable(self, capsys):
+        from repro.obs.export import parse_prometheus_text
+
+        assert main(
+            ["obs", "export", "--journal", self.FIXTURE, "--format", "prom"]
+        ) == 0
+        samples = parse_prometheus_text(capsys.readouterr().out)
+        assert samples["repro_exec_batches_total"] == 3.0
+        assert samples["repro_exec_jobs_completed_total"] == 30.0
+
+    def test_obs_export_json(self, capsys):
+        assert main(
+            ["obs", "export", "--journal", self.FIXTURE, "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counters"]["exec.batches"] == 3
+
+    def test_obs_export_live_registry_default(self, capsys):
+        # Without --journal the command exports this process's registry;
+        # exercising the parser is enough (contents depend on test order).
+        from repro.obs.export import parse_prometheus_text
+
+        assert main(["obs", "export", "--format", "prom"]) == 0
+        parse_prometheus_text(capsys.readouterr().out)  # must not raise
+
+    def test_monitor_once_smoke(self, capsys):
+        assert main(["monitor", self.FIXTURE, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro run monitor" in out
+        assert "get_real" in out
+        assert "batches: 3" in out
+
+    def test_monitor_missing_file_renders_empty_dashboard(self, tmp_path, capsys):
+        assert main(["monitor", str(tmp_path / "nope.jsonl"), "--once"]) == 0
+        assert "(no runs yet)" in capsys.readouterr().out

@@ -1,4 +1,4 @@
-"""Per-rule fixture tests for reprolint (RP001–RP008).
+"""Per-rule fixture tests for reprolint (RP001–RP009).
 
 Each rule gets positive snippets (must flag), negative snippets (must stay
 silent), and a suppressed variant (flag silenced by an inline
@@ -24,10 +24,10 @@ def codes(findings):
 
 
 class TestRuleCatalogue:
-    def test_eight_rules_with_stable_codes(self):
+    def test_nine_rules_with_stable_codes(self):
         assert [r.code for r in ALL_RULES] == [
             "RP001", "RP002", "RP003", "RP004", "RP005", "RP006", "RP007",
-            "RP008",
+            "RP008", "RP009",
         ]
 
     def test_every_rule_carries_metadata(self):
@@ -716,5 +716,100 @@ class TestRP008UseSharedSnapshotPools:
             """,
             "algorithms/my_greedy.py",
             select=["RP008"],
+        )
+        assert found == []
+
+
+class TestRP009UseSpanTiming:
+    def test_flags_perf_counter_pair_via_tracked_name(self):
+        found = findings_for(
+            """
+            import time
+
+            def work():
+                started = time.perf_counter()
+                do_things()
+                return time.perf_counter() - started
+            """,
+            "core/pipeline.py",
+            select=["RP009"],
+        )
+        assert codes(found) == ["RP009"]
+
+    def test_flags_bare_perf_counter_import(self):
+        found = findings_for(
+            """
+            from time import perf_counter
+
+            def work():
+                t0 = perf_counter()
+                do_things()
+                elapsed = perf_counter() - t0
+                return elapsed
+            """,
+            "core/pipeline.py",
+            select=["RP009"],
+        )
+        assert codes(found) == ["RP009"]
+
+    def test_unrelated_subtraction_is_silent(self):
+        found = findings_for(
+            """
+            import time
+
+            def work(a, b):
+                started = time.perf_counter()
+                log(started)
+                return a - b
+            """,
+            "core/pipeline.py",
+            select=["RP009"],
+        )
+        assert found == []
+
+    def test_rebound_name_is_silent(self):
+        found = findings_for(
+            """
+            import time
+
+            def work(budget):
+                started = time.perf_counter()
+                log(started)
+                started = budget
+                return 10.0 - started
+            """,
+            "core/pipeline.py",
+            select=["RP009"],
+        )
+        assert found == []
+
+    def test_obs_package_and_timing_module_exempt(self):
+        snippet = """
+            import time
+
+            def measure():
+                t0 = time.perf_counter()
+                return time.perf_counter() - t0
+            """
+        assert findings_for(snippet, "obs/trace.py", select=["RP009"]) == []
+        assert findings_for(snippet, "utils/timing.py", select=["RP009"]) == []
+        assert codes(
+            findings_for(snippet, "utils/other.py", select=["RP009"])
+        ) == ["RP009"]
+
+    def test_suppression_comment(self):
+        found = findings_for(
+            """
+            import time
+
+            def work(journal):
+                started = time.perf_counter()
+                do_things()
+                journal.run_end(
+                    duration_seconds=time.perf_counter() - started,  # reprolint: disable=RP009
+                )
+            """,
+            "core/pipeline.py",
+            select=["RP009"],
         )
         assert found == []

@@ -1,0 +1,129 @@
+"""Tests for metric export: Prometheus text format, JSON, journal replay."""
+
+import json
+
+import pytest
+
+from repro.errors import JournalError
+from repro.obs.export import (
+    parse_prometheus_text,
+    registry_from_journal,
+    render_export,
+    sanitize_metric_name,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _sample_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("exec.jobs_completed").inc(12)
+    registry.gauge("cache.bytes").set(2048.0)
+    h = registry.histogram("exec.job_seconds")
+    for value in (0.1, 0.2, 0.3):
+        h.observe(value)
+    return registry.snapshot()
+
+
+class TestSanitize:
+    def test_dotted_names_map_to_prometheus_charset(self):
+        assert sanitize_metric_name("exec.jobs_completed") == (
+            "repro_exec_jobs_completed"
+        )
+
+    def test_custom_prefix(self):
+        assert sanitize_metric_name("a.b", prefix="x_") == "x_a_b"
+
+
+class TestPrometheus:
+    def test_counter_gauge_histogram_exposition(self):
+        text = to_prometheus(_sample_snapshot())
+        samples = parse_prometheus_text(text)
+        assert samples["repro_exec_jobs_completed_total"] == 12.0
+        assert samples["repro_cache_bytes"] == 2048.0
+        assert samples["repro_exec_job_seconds_count"] == 3.0
+        assert samples["repro_exec_job_seconds_sum"] == pytest.approx(0.6)
+        assert samples["repro_exec_job_seconds_min"] == pytest.approx(0.1)
+        assert samples["repro_exec_job_seconds_max"] == pytest.approx(0.3)
+        assert samples["repro_exec_job_seconds_mean"] == pytest.approx(0.2)
+
+    def test_type_lines_present(self):
+        text = to_prometheus(_sample_snapshot())
+        assert "# TYPE repro_exec_jobs_completed_total counter" in text
+        assert "# TYPE repro_cache_bytes gauge" in text
+        assert "# TYPE repro_exec_job_seconds summary" in text
+
+    def test_empty_snapshot(self):
+        text = to_prometheus(MetricsRegistry().snapshot())
+        assert parse_prometheus_text(text) == {}
+
+
+class TestParser:
+    def test_rejects_malformed_sample(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus_text("not a metric line at all!\n")
+
+    def test_rejects_non_numeric_value(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_prometheus_text("repro_x twelve\n")
+
+    def test_rejects_duplicate_sample(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_prometheus_text("repro_x 1\nrepro_x 2\n")
+
+    def test_rejects_malformed_type_line(self):
+        with pytest.raises(ValueError, match="malformed TYPE"):
+            parse_prometheus_text("# TYPE repro_x frobnicator\n")
+
+
+class TestJson:
+    def test_json_roundtrip_carries_snapshot(self):
+        payload = json.loads(to_json(_sample_snapshot()))
+        assert payload["counters"]["exec.jobs_completed"] == 12
+        assert payload["histograms"]["exec.job_seconds"]["count"] == 3
+        assert "exported_ts" in payload
+
+
+class TestJournalReplay:
+    def test_registry_from_journal_rebuilds_aggregates(self):
+        events = [
+            {"event": "run_start", "command": "get_real"},
+            {"event": "batch_done", "jobs": 4, "duration_seconds": 0.5},
+            {"event": "batch_done", "jobs": 6, "duration_seconds": 1.5},
+            {
+                "event": "span",
+                "name": "exec.batch",
+                "duration_seconds": 0.5,
+            },
+            {"event": "profile_done", "duration_seconds": 2.0},
+            {"event": "cache", "op": "hit", "entries": 3},
+            {"event": "cache", "op": "miss", "entries": 3},
+            {"event": "run_end", "status": "ok"},
+        ]
+        snap = registry_from_journal(events).snapshot()
+        assert snap["counters"]["exec.batches"] == 2
+        assert snap["counters"]["exec.jobs_completed"] == 10
+        assert snap["counters"]["journal.events_batch_done"] == 2
+        assert snap["counters"]["cache.journal_hit"] == 1
+        assert snap["counters"]["cache.journal_miss"] == 1
+        assert snap["histograms"]["exec.batch_seconds"]["count"] == 2
+        assert snap["histograms"]["span.exec.batch.seconds"]["count"] == 1
+        assert snap["histograms"]["payoff.profile_seconds"]["mean"] == 2.0
+
+    def test_replayed_registry_exports_cleanly(self):
+        events = [{"event": "batch_done", "jobs": 1, "duration_seconds": 0.1}]
+        snap = registry_from_journal(events).snapshot()
+        samples = parse_prometheus_text(to_prometheus(snap))
+        assert samples["repro_exec_batches_total"] == 1.0
+
+
+class TestRenderExport:
+    def test_dispatch(self):
+        snap = _sample_snapshot()
+        assert render_export(snap, "prom").startswith("# HELP")
+        assert json.loads(render_export(snap, "json"))["counters"]
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(JournalError, match="unknown export format"):
+            render_export(_sample_snapshot(), "xml")

@@ -282,3 +282,108 @@ class TestCliIntegration:
         assert events[0]["command"] == "seeds"
         assert kinds[-1] == "run_end"
         assert events[-1]["status"] == "ok"
+
+
+class TestInterleavedRuns:
+    def _interleaved(self):
+        # Two processes appending to one journal: their events interleave.
+        return [
+            {"event": "run_start", "ts": 0.0, "run_id": "r1", "command": "get_real"},
+            {"event": "run_start", "ts": 0.1, "run_id": "r2", "command": "payoff"},
+            {
+                "event": "profile_done", "ts": 0.5, "run_id": "r2",
+                "profile": [1, 1], "labels": ["a", "b"], "players": [],
+                "duration_seconds": 0.2,
+            },
+            {
+                "event": "profile_done", "ts": 0.6, "run_id": "r1",
+                "profile": [0, 0], "labels": ["a", "b"], "players": [],
+                "duration_seconds": 0.3,
+            },
+            {"event": "run_end", "ts": 1.0, "run_id": "r2", "status": "ok",
+             "duration_seconds": 0.9},
+            {"event": "equilibrium_found", "ts": 1.5, "run_id": "r1",
+             "kind": "mixed", "labels": ["a", "b"],
+             "probabilities": [0.5, 0.5], "regret": 0.01},
+            {"event": "run_end", "ts": 2.0, "run_id": "r1", "status": "ok",
+             "duration_seconds": 2.0},
+        ]
+
+    def test_events_route_to_their_run(self):
+        runs = reconstruct_runs(self._interleaved())
+        assert len(runs) == 2
+        by_command = {run.command: run for run in runs}
+        assert len(by_command["get_real"].profiles) == 1
+        assert by_command["get_real"].profiles[0]["profile"] == [0, 0]
+        assert by_command["get_real"].equilibrium["kind"] == "mixed"
+        assert len(by_command["payoff"].profiles) == 1
+        assert by_command["payoff"].duration_seconds == 0.9
+        assert by_command["get_real"].duration_seconds == 2.0
+
+    def test_unclosed_run_still_reported(self):
+        events = [
+            e for e in self._interleaved()
+            if not (e["event"] == "run_end" and e.get("run_id") == "r1")
+        ]
+        runs = reconstruct_runs(events)
+        commands = {run.command for run in runs}
+        assert commands == {"get_real", "payoff"}
+
+    def test_span_events_are_tolerated(self):
+        events = self._interleaved()
+        events.insert(
+            2,
+            {
+                "event": "span", "ts": 0.2, "run_id": "r1",
+                "name": "exec.batch", "duration_seconds": 0.1,
+                "trace_id": "t", "span_id": "s", "parent_id": None,
+            },
+        )
+        assert len(reconstruct_runs(events)) == 2
+
+
+class TestTolerantReader:
+    def test_strict_false_skips_truncated_trailing_line(self, journal_path):
+        journal = RunJournal(journal_path)
+        journal.run_start("get_real")
+        journal.run_end(status="ok", duration_seconds=1.0)
+        journal.close()
+        with open(journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "batch_done", "jobs": 4, "dur')  # crash mid-write
+        with pytest.raises(JournalError):
+            read_journal(journal_path)
+        events = read_journal(journal_path, strict=False)
+        assert [e["event"] for e in events] == ["run_start", "run_end"]
+
+    def test_strict_false_skips_eventless_records(self, journal_path):
+        journal_path.write_text(
+            '{"event": "run_start", "command": "x"}\n{"not_an_event": 1}\n'
+        )
+        events = read_journal(journal_path, strict=False)
+        assert len(events) == 1
+
+
+class TestConcurrentEmit:
+    def test_parallel_emitters_produce_intact_lines(self, journal_path):
+        import threading
+
+        journal = RunJournal(journal_path)
+        per_thread, threads = 200, 8
+
+        def emit(tid):
+            for i in range(per_thread):
+                journal.emit("cache", namespace=f"t{tid}", op="hit", entries=i)
+
+        pool = [
+            threading.Thread(target=emit, args=(t,)) for t in range(threads)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        journal.close()
+        # Every line parses (no torn writes) and every event arrived.
+        events = read_journal(journal_path)
+        assert len(events) == per_thread * threads
+        seqs = [event["seq"] for event in events]
+        assert sorted(seqs) == list(range(per_thread * threads))

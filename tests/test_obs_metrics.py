@@ -197,3 +197,169 @@ class TestPipelineInstrumentation:
         # Full enumeration: z^r = 2 strategies ^ 2 groups = 4 profiles.
         assert snap["counters"]["payoff.profiles_estimated"] == 4
         assert snap["histograms"]["payoff.profile_seconds"]["count"] == 4
+
+
+class TestWelfordNumerics:
+    def test_std_survives_catastrophic_cancellation(self):
+        # The naive sum/sumsq formula returns garbage (often 0 or NaN, and
+        # historically ~32768 here) for large-offset data; Welford keeps
+        # the exact answer: population std of {0,1,2} shifted by 1e9.
+        h = Histogram("x")
+        for value in (1e9 + 0.0, 1e9 + 1.0, 1e9 + 2.0):
+            h.observe(value)
+        assert h.mean == pytest.approx(1e9 + 1.0)
+        assert h.std == pytest.approx(math.sqrt(2.0 / 3.0), rel=1e-9)
+
+    def test_as_dict_keys_are_stable(self):
+        h = Histogram("x")
+        h.observe(2.0)
+        assert set(h.as_dict()) == {
+            "count", "total", "mean", "std", "min", "max",
+        }
+
+    def test_merge_state_matches_single_stream(self):
+        a, b, c = Histogram("x"), Histogram("x"), Histogram("x")
+        left, right = (1e9, 1e9 + 1.0, 3.0), (2.5, 1e9 + 2.0)
+        for v in left:
+            a.observe(v)
+        for v in right:
+            b.observe(v)
+        for v in left + right:
+            c.observe(v)
+        a.merge_state(b.state())
+        assert a.count == c.count
+        assert a.total == pytest.approx(c.total)
+        assert a.mean == pytest.approx(c.mean)
+        assert a.std == pytest.approx(c.std, rel=1e-9)
+        assert a.min == c.min and a.max == c.max
+
+    def test_merge_state_with_empty_sides(self):
+        h = Histogram("x")
+        h.observe(5.0)
+        h.merge_state(Histogram("y").state())  # empty delta: no-op
+        assert h.count == 1 and h.mean == 5.0
+        empty = Histogram("z")
+        empty.merge_state(h.state())
+        assert empty.count == 1 and empty.mean == 5.0
+
+
+class TestThreadSafety:
+    def test_concurrent_counter_and_histogram_updates(self):
+        import threading
+
+        registry = MetricsRegistry()
+        c = registry.counter("hits")
+        h = registry.histogram("lat")
+        g = registry.gauge("level")
+        per_thread, threads = 2000, 8
+
+        def work(tid):
+            for i in range(per_thread):
+                c.inc()
+                h.observe(1.0)
+                g.set(float(tid))
+
+        pool = [
+            threading.Thread(target=work, args=(t,)) for t in range(threads)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert c.value == per_thread * threads
+        assert h.count == per_thread * threads
+        assert h.total == pytest.approx(per_thread * threads)
+        assert g.value in {float(t) for t in range(threads)}
+
+    def test_concurrent_instrument_creation_is_deduplicated(self):
+        import threading
+
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def create():
+            barrier.wait()
+            seen.append(registry.counter("shared"))
+
+        pool = [threading.Thread(target=create) for _ in range(8)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert all(instrument is seen[0] for instrument in seen)
+
+
+class TestStateDeltas:
+    def test_counter_delta_and_merge(self):
+        from repro.obs.metrics import delta_state
+
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc(3)
+        before = registry.state()
+        registry.counter("jobs").inc(2)
+        registry.counter("fresh").inc()
+        delta = delta_state(before, registry.state())
+        assert delta["counters"] == {"jobs": 2.0, "fresh": 1.0}
+
+        target = MetricsRegistry()
+        target.counter("jobs").inc(10)
+        target.merge_delta(delta)
+        assert target.counter("jobs").value == 12
+        assert target.counter("fresh").value == 1
+
+    def test_gauge_delta_requires_a_write(self):
+        from repro.obs.metrics import delta_state
+
+        registry = MetricsRegistry()
+        registry.gauge("level").set(4.0)
+        before = registry.state()
+        delta = delta_state(before, registry.state())
+        assert delta["gauges"] == {}  # no write since the snapshot
+        registry.gauge("level").set(4.0)  # same value, but written
+        delta = delta_state(before, registry.state())
+        assert delta["gauges"] == {"level": {"value": 4.0}}
+
+    def test_histogram_window_delta_reconstructs_tail(self):
+        from repro.obs.metrics import delta_state
+
+        registry = MetricsRegistry()
+        h = registry.histogram("lat")
+        for v in (1e9, 1e9 + 1.0):
+            h.observe(v)
+        before = registry.state()
+        tail = (1e9 + 2.0, 3.0, 7.5)
+        for v in tail:
+            h.observe(v)
+        delta = delta_state(before, registry.state())
+
+        expected = Histogram("lat")
+        for v in tail:
+            expected.observe(v)
+        got = delta["histograms"]["lat"]
+        assert got["count"] == expected.count
+        assert got["mean"] == pytest.approx(expected.mean)
+        # Window min/max are after-extrema by design (idempotent under
+        # re-merge), so they bound — rather than equal — the tail extrema.
+        assert got["min"] <= min(tail)
+        assert got["max"] >= max(tail)
+
+        target = MetricsRegistry()
+        target.merge_delta(delta)
+        merged = target.histogram("lat")
+        assert merged.count == expected.count
+        assert merged.mean == pytest.approx(expected.mean)
+
+    def test_registry_state_roundtrips_through_merge(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(5)
+        registry.gauge("b").set(2.5)
+        registry.histogram("c").observe(1.0)
+        registry.histogram("c").observe(9.0)
+
+        from repro.obs.metrics import delta_state
+
+        delta = delta_state(MetricsRegistry().state(), registry.state())
+        clone = MetricsRegistry()
+        clone.merge_delta(delta)
+        assert clone.snapshot() == registry.snapshot()
