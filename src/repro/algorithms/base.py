@@ -17,6 +17,7 @@ Two contract points matter for the game-theoretic layer:
 
 from __future__ import annotations
 
+import threading
 import time
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Sequence
@@ -52,15 +53,19 @@ _SELECTIONS = counter("algorithms.selections")
 # re-enters the registry (same discipline reprolint RP004 enforces for the
 # cascade hot paths).
 _SELECT_SECONDS: dict[str, Histogram] = {}
+_SELECT_SECONDS_LOCK = threading.Lock()
 
 
 def _select_seconds_histogram(name: str) -> Histogram:
     try:
         return _SELECT_SECONDS[name]
     except KeyError:
-        handle = histogram(f"algorithms.{name}.select_seconds")
-        _SELECT_SECONDS[name] = handle
-        return handle
+        with _SELECT_SECONDS_LOCK:
+            handle = _SELECT_SECONDS.get(name)
+            if handle is None:
+                handle = histogram(f"algorithms.{name}.select_seconds")
+                _SELECT_SECONDS[name] = handle
+            return handle
 
 
 class SeedSelector(ABC):

@@ -33,6 +33,7 @@ frontier-batched ``"numpy"`` vectorization).
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
@@ -70,16 +71,21 @@ _SEED_COLLISIONS = counter("cascade.seed_collisions")
 # Per-group spread histograms have dynamic names ("cascade.group1.spread"…),
 # so they are memoized here instead of re-resolved — and re-formatted — on
 # every simulation.  Handles survive metrics.reset(), so the cache is safe.
+# The memo is written from thread-backend jobs, hence the lock (RP013).
 _GROUP_SPREADS: dict[int, Histogram] = {}
+_GROUP_SPREADS_LOCK = threading.Lock()
 
 
 def _group_spread_histogram(group: int) -> Histogram:
     try:
         return _GROUP_SPREADS[group]
     except KeyError:
-        handle = histogram(f"cascade.group{group + 1}.spread")  # reprolint: disable=RP004
-        _GROUP_SPREADS[group] = handle
-        return handle
+        with _GROUP_SPREADS_LOCK:
+            handle = _GROUP_SPREADS.get(group)
+            if handle is None:
+                handle = histogram(f"cascade.group{group + 1}.spread")  # reprolint: disable=RP004
+                _GROUP_SPREADS[group] = handle
+            return handle
 
 
 class TieBreakRule(enum.Enum):

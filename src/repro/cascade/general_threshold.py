@@ -138,7 +138,9 @@ class GeneralThreshold(CascadeModel):
                     if not active[v]:
                         active_in_count[v] += 1
                         touched.add(int(v))
-            for v in touched:
+            # Sorted for a canonical frontier order (RP011): activation here
+            # draws no randomness, but downstream consumers see the frontier.
+            for v in sorted(touched):
                 weights = np.full(active_in_count[v], weight_in[v])
                 level = self.activation(weights, int(in_deg[v]))
                 if level >= thresholds[v]:

@@ -343,7 +343,10 @@ def _competitive_threshold_python(
                         touched.add(int(v))
 
         next_frontiers: list[list[int]] = [[] for _ in range(r)]
-        for v in touched:
+        # Sorted so the claim_group draw order — and thus the whole
+        # trajectory — is deterministic by construction, not by the accident
+        # of CPython's int-set iteration order (RP011).
+        for v in sorted(touched):
             total = pressure[v].sum()
             if total >= thresholds[v]:
                 # Claim in proportion to each group's share of the

@@ -298,7 +298,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     lint = sub.add_parser(
-        "lint", help="run the reprolint static-analysis rules (RP001-RP009)"
+        "lint",
+        help="run the reprolint static-analysis rules (per-file RP001-RP009; "
+        "--project adds the whole-program RP010-RP015)",
     )
     add_lint_arguments(lint)
 

@@ -149,7 +149,23 @@ def lint_paths(
     _select_rules(select, ignore)  # validate codes even when no files match
     findings: list[Finding] = []
     for file_path in iter_python_files(paths):
-        source = file_path.read_text(encoding="utf-8")
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            # Unreadable files are findings, not crashes: the run completes,
+            # reports the file, and exits nonzero like any other finding.
+            findings.append(
+                Finding(
+                    path=str(file_path),
+                    line=1,
+                    col=1,
+                    code=PARSE_ERROR_CODE,
+                    message=f"file unreadable: {exc}",
+                    hint="fix the file's permissions or encoding; reprolint "
+                    "never skips files silently",
+                )
+            )
+            continue
         findings.extend(lint_source(source, file_path, select, ignore))
     return sorted(findings)
 

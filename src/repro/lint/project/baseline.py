@@ -1,0 +1,97 @@
+"""Baseline ratchet: accepted findings are pinned, new ones block.
+
+A baseline file is a checked-in JSON snapshot of the findings a codebase
+already has.  CI compares the current run against it:
+
+* a finding **matching** a baseline entry is *accepted* — reported only
+  with ``--show-baselined``, never failing the build;
+* a finding **not** in the baseline is *new* — it fails the build;
+* a baseline entry with no matching finding is *stale* — the debt was paid
+  down, and ``--update-baseline`` must be re-run to ratchet the file
+  forward (CI treats stale entries as a failure too, so the baseline can
+  only shrink or be deliberately regenerated, never silently rot).
+
+Matching is by ``(path, code, message)``, **not** line number: unrelated
+edits move lines constantly, and the messages are written to be stable
+(qualnames, not positions).  Duplicate keys are counted — three accepted
+findings with one key allow at most three current ones.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from collections.abc import Sequence
+
+from repro.lint.base import Finding
+
+#: Baseline document schema version; bump on any key change.
+BASELINE_VERSION = 1
+
+#: Default baseline location, repo-root-relative.
+DEFAULT_BASELINE = ".reprolint-baseline.json"
+
+BaselineKey = tuple[str, str, str]
+
+
+def _key(finding: Finding) -> BaselineKey:
+    return (finding.path, finding.code, finding.message)
+
+
+def load_baseline(path: str | Path) -> Counter[BaselineKey]:
+    """Parse a baseline file into a key→allowed-count counter.
+
+    A missing file is an empty baseline (every finding is new); a malformed
+    file raises ``ValueError`` so CI fails loudly instead of accepting
+    everything.
+    """
+    path = Path(path)
+    if not path.exists():
+        return Counter()
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+        entries = document["entries"]
+        counter: Counter[BaselineKey] = Counter()
+        for entry in entries:
+            counter[(entry["path"], entry["code"], entry["message"])] += int(
+                entry.get("count", 1)
+            )
+    except (KeyError, TypeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"malformed baseline file {path}: {exc}") from exc
+    return counter
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> None:
+    """Snapshot *findings* as the new baseline (sorted, line-free, stable)."""
+    counter = Counter(_key(f) for f in findings)
+    entries = [
+        {"path": key[0], "code": key[1], "message": key[2], "count": count}
+        for key, count in sorted(counter.items())
+    ]
+    document = {"version": BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Counter[BaselineKey]
+) -> tuple[list[Finding], list[Finding], list[BaselineKey]]:
+    """Split *findings* into (new, accepted) and report stale baseline keys.
+
+    Findings are processed in sorted order so which duplicates get accepted
+    is deterministic (the earliest in file order win the baseline slots).
+    """
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    accepted: list[Finding] = []
+    for finding in sorted(findings):
+        key = _key(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            accepted.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(key for key, count in remaining.items() if count > 0)
+    return new, accepted, stale

@@ -241,7 +241,8 @@ def render_dashboard(
     now: float | None = None,
 ) -> str:
     """Plain-text dashboard panel for the current monitor state."""
-    now = now if now is not None else time.time()
+    # Display-only staleness clock; tests inject `now` explicitly.
+    now = now if now is not None else time.time()  # reprolint: disable=RP011
     lines: list[str] = [f"repro run monitor — {path}"]
     status = f"events: {state.events}"
     if tailer is not None and tailer.malformed:

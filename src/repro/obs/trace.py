@@ -198,7 +198,9 @@ def span(
     )
     token = _SPAN_STACK.set(_SPAN_STACK.get() + (handle.context,))
     _LOG.debug("span %s started %s", name, fields or "")
-    handle.start_ts = time.time()
+    # Wall-clock start is a journaled product field (durations use the
+    # perf_counter below); same decision as RunJournal.emit's "ts".
+    handle.start_ts = time.time()  # reprolint: disable=RP011
     started = time.perf_counter()
     try:
         yield handle

@@ -11,6 +11,7 @@ deterministically derives every stream below it via :func:`spawn_rngs`.
 
 from __future__ import annotations
 
+import os
 
 import numpy as np
 
@@ -18,16 +19,44 @@ RandomSource = int | np.random.Generator | np.random.SeedSequence | None
 """Anything convertible to a :class:`numpy.random.Generator`."""
 
 
+def _entropy_rng() -> np.random.Generator:
+    """The single allowlisted ambient-entropy boundary of the library.
+
+    ``rng=None`` means "fresh OS entropy" by documented contract, and this
+    helper is the only place that contract is honoured — every other
+    generator in the project derives from an explicit seed through the
+    ``SeedSequence.spawn`` chain.  Setting ``REPRO_REQUIRE_SEED=1`` turns
+    the fallback into an error so CI and benchmark runs cannot silently
+    pick up nondeterministic streams.
+    """
+    if os.environ.get("REPRO_REQUIRE_SEED", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    ):
+        raise ValueError(
+            "rng=None requests ambient OS entropy, but REPRO_REQUIRE_SEED "
+            "is set; pass an explicit int seed, SeedSequence, or Generator"
+        )
+    # Decision (reprolint RP010): ambient entropy is the *documented*
+    # meaning of rng=None, kept behind this one boundary and gated by
+    # REPRO_REQUIRE_SEED above for strict runs.
+    return np.random.default_rng()  # reprolint: disable=RP010
+
+
 def as_rng(rng: RandomSource = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for *rng*.
 
-    ``None`` produces a generator seeded from OS entropy; an ``int`` or a
+    ``None`` produces a generator seeded from OS entropy (rejected when the
+    ``REPRO_REQUIRE_SEED`` environment variable is set — see
+    :func:`_entropy_rng`); an ``int`` or a
     :class:`numpy.random.SeedSequence` produces a deterministic generator;
     an existing generator is returned unchanged (NOT copied — callers share
     its state deliberately).
     """
     if rng is None:
-        return np.random.default_rng()
+        return _entropy_rng()
     if isinstance(rng, np.random.Generator):
         return rng
     if isinstance(rng, np.random.SeedSequence):

@@ -1,0 +1,174 @@
+"""Call-graph construction, cycle-tolerant reachability, and trace tests."""
+
+from repro.lint.project.callgraph import CallGraph, render_trace
+from repro.lint.project.facts import extract_facts
+from repro.lint.project.symbols import SymbolTable
+
+
+def build_graph(sources: dict[str, str]) -> CallGraph:
+    modules = {
+        mod: extract_facts(src, mod, f"{mod.replace('.', '/')}.py")
+        for mod, src in sources.items()
+    }
+    return CallGraph(SymbolTable(modules))
+
+
+class TestEdges:
+    def test_cross_module_call(self):
+        graph = build_graph(
+            {
+                "pkg.util": "def helper():\n    return 1\n",
+                "pkg.main": (
+                    "from pkg.util import helper\n"
+                    "def entry():\n    return helper()\n"
+                ),
+            }
+        )
+        assert "pkg.util:helper" in graph.edges["pkg.main:entry"]
+
+    def test_self_method_edge(self):
+        graph = build_graph(
+            {
+                "pkg.mod": (
+                    "class C:\n"
+                    "    def top(self):\n        return self.low()\n"
+                    "    def low(self):\n        return 1\n"
+                )
+            }
+        )
+        assert graph.edges["pkg.mod:C.top"] == {"pkg.mod:C.low"}
+
+    def test_self_method_resolves_through_base(self):
+        graph = build_graph(
+            {
+                "pkg.base": "class Base:\n    def low(self):\n        return 1\n",
+                "pkg.sub": (
+                    "from pkg.base import Base\n"
+                    "class Sub(Base):\n"
+                    "    def top(self):\n        return self.low()\n"
+                ),
+            }
+        )
+        assert graph.edges["pkg.sub:Sub.top"] == {"pkg.base:Base.low"}
+
+    def test_constructed_receiver_type(self):
+        graph = build_graph(
+            {
+                "pkg.mod": (
+                    "class Worker:\n"
+                    "    def go(self):\n        return 1\n"
+                    "def entry():\n"
+                    "    w = Worker()\n"
+                    "    return w.go()\n"
+                )
+            }
+        )
+        assert "pkg.mod:Worker.go" in graph.edges["pkg.mod:entry"]
+
+    def test_annotated_param_receiver(self):
+        graph = build_graph(
+            {
+                "pkg.mod": (
+                    "class Worker:\n"
+                    "    def go(self):\n        return 1\n"
+                    "def entry(w: Worker):\n"
+                    "    return w.go()\n"
+                )
+            }
+        )
+        assert "pkg.mod:Worker.go" in graph.edges["pkg.mod:entry"]
+
+    def test_class_call_links_init(self):
+        graph = build_graph(
+            {
+                "pkg.mod": (
+                    "class Worker:\n"
+                    "    def __init__(self):\n        self.x = 1\n"
+                    "def entry():\n    return Worker()\n"
+                )
+            }
+        )
+        assert "pkg.mod:Worker.__init__" in graph.edges["pkg.mod:entry"]
+
+    def test_unknown_receiver_fans_out(self):
+        graph = build_graph(
+            {
+                "pkg.a": "class A:\n    def act(self):\n        return 1\n",
+                "pkg.b": "class B:\n    def act(self):\n        return 2\n",
+                "pkg.main": "def entry(obj):\n    return obj.act()\n",
+            }
+        )
+        assert graph.edges["pkg.main:entry"] == {"pkg.a:A.act", "pkg.b:B.act"}
+
+    def test_external_call_is_opaque(self):
+        graph = build_graph(
+            {"pkg.mod": "import numpy as np\ndef f():\n    return np.zeros(3)\n"}
+        )
+        assert graph.edges["pkg.mod:f"] == set()
+
+
+class TestReachability:
+    def test_cycle_terminates(self):
+        graph = build_graph(
+            {
+                "pkg.mod": (
+                    "def a():\n    return b()\n"
+                    "def b():\n    return a()\n"
+                )
+            }
+        )
+        parents = graph.reachable_from(["pkg.mod:a"])
+        assert set(parents) == {"pkg.mod:a", "pkg.mod:b"}
+        assert parents["pkg.mod:a"] is None
+        assert parents["pkg.mod:b"] == "pkg.mod:a"
+
+    def test_unreachable_excluded(self):
+        graph = build_graph(
+            {
+                "pkg.mod": (
+                    "def a():\n    return 1\n"
+                    "def island():\n    return 2\n"
+                )
+            }
+        )
+        parents = graph.reachable_from(["pkg.mod:a"])
+        assert "pkg.mod:island" not in parents
+
+    def test_missing_entry_ignored(self):
+        graph = build_graph({"pkg.mod": "def a():\n    return 1\n"})
+        assert graph.reachable_from(["pkg.mod:nope"]) == {}
+
+
+class TestTrace:
+    def test_path_reconstruction(self):
+        graph = build_graph(
+            {
+                "pkg.mod": (
+                    "def a():\n    return b()\n"
+                    "def b():\n    return c()\n"
+                    "def c():\n    return 1\n"
+                )
+            }
+        )
+        parents = graph.reachable_from(["pkg.mod:a"])
+        path = CallGraph.trace(parents, "pkg.mod:c")
+        assert path == ["pkg.mod:a", "pkg.mod:b", "pkg.mod:c"]
+        rendered = render_trace(graph.symbols, path)
+        assert rendered == "pkg.mod:a -> pkg.mod:b -> pkg.mod:c"
+
+    def test_trace_of_unreached_target_is_empty(self):
+        graph = build_graph({"pkg.mod": "def a():\n    return 1\n"})
+        parents = graph.reachable_from(["pkg.mod:a"])
+        assert CallGraph.trace(parents, "pkg.mod:zzz") == []
+
+    def test_callers_of(self):
+        graph = build_graph(
+            {
+                "pkg.mod": (
+                    "def a():\n    return c()\n"
+                    "def b():\n    return c()\n"
+                    "def c():\n    return 1\n"
+                )
+            }
+        )
+        assert graph.callers_of("pkg.mod:c") == ["pkg.mod:a", "pkg.mod:b"]

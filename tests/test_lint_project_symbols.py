@@ -1,0 +1,183 @@
+"""Symbol-table resolution tests: re-exports, star imports, aliases, cycles."""
+
+from repro.lint.project.facts import extract_facts
+from repro.lint.project.symbols import SymbolTable
+
+
+def build_table(sources: dict[str, str]) -> SymbolTable:
+    modules = {
+        mod: extract_facts(src, mod, f"{mod.replace('.', '/')}.py")
+        for mod, src in sources.items()
+    }
+    return SymbolTable(modules)
+
+
+class TestDirectResolution:
+    def test_local_definition(self):
+        table = build_table({"pkg.mod": "def fn():\n    return 1\n"})
+        assert table.resolve("pkg.mod", "fn") == "pkg.mod:fn"
+
+    def test_class_method(self):
+        table = build_table(
+            {"pkg.mod": "class C:\n    def meth(self):\n        return 1\n"}
+        )
+        assert table.resolve("pkg.mod", "C.meth") == "pkg.mod:C.meth"
+
+    def test_unknown_name_is_none(self):
+        table = build_table({"pkg.mod": "x = 1\n"})
+        assert table.resolve("pkg.mod", "missing") is None
+
+    def test_external_module_is_none(self):
+        table = build_table({"pkg.mod": "import numpy as np\n"})
+        assert table.resolve("pkg.mod", "np.zeros") is None
+
+
+class TestImports:
+    def test_from_import(self):
+        table = build_table(
+            {
+                "pkg.util": "def helper():\n    return 1\n",
+                "pkg.main": "from pkg.util import helper\n",
+            }
+        )
+        assert table.resolve("pkg.main", "helper") == "pkg.util:helper"
+
+    def test_aliased_from_import(self):
+        table = build_table(
+            {
+                "pkg.util": "def helper():\n    return 1\n",
+                "pkg.main": "from pkg.util import helper as h\n",
+            }
+        )
+        assert table.resolve("pkg.main", "h") == "pkg.util:helper"
+
+    def test_module_alias_attribute(self):
+        table = build_table(
+            {
+                "pkg.util": "def helper():\n    return 1\n",
+                "pkg.main": "import pkg.util as u\n",
+            }
+        )
+        assert table.resolve("pkg.main", "u.helper") == "pkg.util:helper"
+
+    def test_relative_import(self):
+        source = "from .util import helper\n"
+        table = build_table(
+            {
+                "pkg.util": "def helper():\n    return 1\n",
+                "pkg.main": source,
+            }
+        )
+        assert table.resolve("pkg.main", "helper") == "pkg.util:helper"
+
+
+class TestReExports:
+    def test_init_reexport_chain(self):
+        table = build_table(
+            {
+                "pkg.impl": "def thing():\n    return 1\n",
+                "pkg": "from pkg.impl import thing\n",
+                "pkg.user": "from pkg import thing\n",
+            }
+        )
+        assert table.resolve("pkg.user", "thing") == "pkg.impl:thing"
+
+    def test_two_hop_reexport(self):
+        table = build_table(
+            {
+                "pkg.deep.impl": "def thing():\n    return 1\n",
+                "pkg.deep": "from pkg.deep.impl import thing\n",
+                "pkg": "from pkg.deep import thing\n",
+                "pkg.user": "from pkg import thing\n",
+            }
+        )
+        assert table.resolve("pkg.user", "thing") == "pkg.deep.impl:thing"
+
+    def test_star_import_through_init(self):
+        table = build_table(
+            {
+                "pkg.impl": "def thing():\n    return 1\n",
+                "pkg": "from pkg.impl import *\n",
+                "pkg.user": "from pkg import thing\n",
+            }
+        )
+        assert table.resolve("pkg.user", "thing") == "pkg.impl:thing"
+
+    def test_star_import_in_module_scope(self):
+        table = build_table(
+            {
+                "pkg.impl": "def thing():\n    return 1\n",
+                "pkg.user": "from pkg.impl import *\n",
+            }
+        )
+        assert table.resolve("pkg.user", "thing") == "pkg.impl:thing"
+
+
+class TestCycles:
+    def test_import_cycle_terminates(self):
+        table = build_table(
+            {
+                "pkg.a": "from pkg.b import missing\n",
+                "pkg.b": "from pkg.a import missing\n",
+            }
+        )
+        assert table.resolve("pkg.a", "missing") is None
+
+    def test_star_import_cycle_terminates(self):
+        table = build_table(
+            {
+                "pkg.a": "from pkg.b import *\n",
+                "pkg.b": "from pkg.a import *\n",
+            }
+        )
+        assert table.resolve("pkg.a", "anything") is None
+
+
+class TestMethodResolution:
+    def test_inherited_method_found_on_base(self):
+        table = build_table(
+            {
+                "pkg.base": "class Base:\n    def meth(self):\n        return 1\n",
+                "pkg.sub": (
+                    "from pkg.base import Base\n"
+                    "class Sub(Base):\n    pass\n"
+                ),
+            }
+        )
+        assert table.resolve_method("pkg.sub:Sub", "meth") == "pkg.base:Base.meth"
+
+    def test_override_wins_over_base(self):
+        table = build_table(
+            {
+                "pkg.base": "class Base:\n    def meth(self):\n        return 1\n",
+                "pkg.sub": (
+                    "from pkg.base import Base\n"
+                    "class Sub(Base):\n"
+                    "    def meth(self):\n        return 2\n"
+                ),
+            }
+        )
+        assert table.resolve_method("pkg.sub:Sub", "meth") == "pkg.sub:Sub.meth"
+
+    def test_inheritance_cycle_terminates(self):
+        table = build_table(
+            {
+                "pkg.a": "from pkg.b import B\nclass A(B):\n    pass\n",
+                "pkg.b": "from pkg.a import A\nclass B(A):\n    pass\n",
+            }
+        )
+        assert table.resolve_method("pkg.a:A", "missing") is None
+
+    def test_subclasses_of(self):
+        table = build_table(
+            {
+                "pkg.base": "class Base:\n    pass\n",
+                "pkg.sub": (
+                    "from pkg.base import Base\n"
+                    "class Mid(Base):\n    pass\n"
+                    "class Leaf(Mid):\n    pass\n"
+                ),
+            }
+        )
+        subs = set(table.subclasses_of("pkg.base:Base"))
+        assert subs == {"pkg.sub:Mid", "pkg.sub:Leaf"}
