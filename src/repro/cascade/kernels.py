@@ -45,6 +45,7 @@ import numpy as np
 from repro.errors import CascadeError, GraphError
 from repro.graphs.digraph import DiGraph
 from repro.obs.metrics import histogram, counter
+from repro.utils.bitset import is_packed, lookup_bits, lookup_bits_rows, num_words
 
 #: Environment variable selecting the process-wide default kernel.
 KERNEL_ENV_VAR = "REPRO_KERNEL"
@@ -568,11 +569,15 @@ def _sweep_numpy(
     frontier: np.ndarray,
     visited: np.ndarray,
 ) -> None:
-    """Mask-filtered CSR frontier sweep; marks everything reachable in *visited*."""
+    """Mask-filtered CSR frontier sweep; marks everything reachable in *visited*.
+
+    *edge_mask* may be a boolean-style array of length *m* or its packed
+    bitset equivalent (:mod:`repro.utils.bitset`); both filter identically.
+    """
     while frontier.size:
         targets, eids, _ = _frontier_edges(graph, frontier)
         if edge_mask is not None and targets.size:
-            keep = edge_mask[eids]
+            keep = lookup_bits(edge_mask, eids)
             targets = targets[keep]
         if targets.size:
             targets = targets[~visited[targets]]
@@ -620,12 +625,19 @@ def reachable_mask_batch(
     frontier sweep over flat ``(snapshot, node)`` pairs, so a snapshot whose
     cascade dies early drops out of the frontier while live snapshots keep
     expanding — the batched analogue of the per-mask early exit.
+
+    *mask_matrix* is either boolean-style ``(snapshots, edges)`` or packed
+    ``(snapshots, words)`` ``uint64`` rows (:mod:`repro.utils.bitset`);
+    results are bit-identical between the two representations.
     """
     resolved = resolve_kernel(kernel)
-    if mask_matrix.ndim != 2 or mask_matrix.shape[1] != graph.num_edges:
+    expected_width = (
+        num_words(graph.num_edges) if is_packed(mask_matrix) else graph.num_edges
+    )
+    if mask_matrix.ndim != 2 or mask_matrix.shape[1] != expected_width:
         raise CascadeError(
             f"mask matrix shape {mask_matrix.shape} does not match "
-            f"(snapshots, {graph.num_edges})"
+            f"(snapshots, {expected_width})"
         )
     num_snaps = mask_matrix.shape[0]
     _SWEEPS[resolved].inc(num_snaps)
@@ -653,7 +665,7 @@ def reachable_mask_batch(
         if targets.size == 0:
             break
         snaps = np.repeat(snap_f, degs)
-        live = mask_matrix[snaps, eids]
+        live = lookup_bits_rows(mask_matrix, snaps, eids)
         targets, snaps = targets[live], snaps[live]
         if targets.size:
             fresh = ~visited[snaps, targets]
@@ -695,7 +707,7 @@ def count_new_reachable(
         count += 1
         lo, hi = graph.out_indptr[u], graph.out_indptr[u + 1]
         nbrs = graph.out_indices[lo:hi]
-        live = mask[graph.out_edge_ids(u)]
+        live = lookup_bits(mask, graph.out_edge_ids(u))
         for v in nbrs[live]:
             node = int(v)
             if node not in visited and not reached[node]:
@@ -725,7 +737,7 @@ def absorb_reachable(
         u = stack.pop()
         lo, hi = graph.out_indptr[u], graph.out_indptr[u + 1]
         nbrs = graph.out_indices[lo:hi]
-        live = mask[graph.out_edge_ids(u)]
+        live = lookup_bits(mask, graph.out_edge_ids(u))
         for v in nbrs[live]:
             node = int(v)
             if not reached[node]:

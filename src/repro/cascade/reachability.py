@@ -8,6 +8,12 @@ Tarjan) and propagate reachable-set *bitsets* through the condensation DAG
 in reverse topological order.  Bitsets are freed as soon as every parent has
 consumed them, so peak memory tracks the DAG frontier rather than the whole
 graph.
+
+The DP bitsets are packed ``uint64`` words (:mod:`repro.utils.bitset`) —
+one bit per node instead of a byte — so the live DAG frontier costs n/8
+bytes per component, and the union step (``|=``) and the popcount both run
+64 nodes per instruction.  *edge_mask* may itself be boolean-style or
+packed; results are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graphs.digraph import DiGraph
+from repro.utils.bitset import lookup_bits, packed_zeros, popcount, set_bits
 
 
 def _tarjan_scc(num_nodes: int, adj: list[np.ndarray]) -> tuple[np.ndarray, int]:
@@ -79,7 +86,7 @@ def all_reach_sizes(graph: DiGraph, edge_mask: np.ndarray | None = None) -> np.n
     """Size of the reachable set of every node, under an optional live-edge mask.
 
     Returns an integer array ``sizes`` with ``sizes[v] = |R(v)|`` including
-    *v* itself.
+    *v* itself.  *edge_mask* may be boolean-style or a packed bitset.
     """
     n = graph.num_nodes
     if n == 0:
@@ -92,7 +99,7 @@ def all_reach_sizes(graph: DiGraph, edge_mask: np.ndarray | None = None) -> np.n
         # frontier walk; the DP itself is vectorized per component)
         nbrs = graph.out_neighbors(u)  # reprolint: disable=RP007
         if edge_mask is not None and nbrs.size:
-            nbrs = nbrs[edge_mask[graph.out_edge_ids(u)]]  # reprolint: disable=RP007
+            nbrs = nbrs[lookup_bits(edge_mask, graph.out_edge_ids(u))]  # reprolint: disable=RP007
         adj.append(nbrs)
 
     comp, num_comps = _tarjan_scc(n, adj)
@@ -112,17 +119,19 @@ def all_reach_sizes(graph: DiGraph, edge_mask: np.ndarray | None = None) -> np.n
                 pending_parents[cw] += 1
 
     # Tarjan emitted components in reverse topological order: children first.
+    # Reach sets are packed bitsets (one bit per node); unions and size
+    # counts operate on whole uint64 words.
     sizes = np.zeros(n, dtype=np.int64)
     reach: dict[int, np.ndarray] = {}
     for c in range(num_comps):
-        bits = np.zeros(n, dtype=bool)
-        bits[members[c]] = True
+        bits = packed_zeros(n)
+        set_bits(bits, np.asarray(members[c], dtype=np.int64))
         for child in children[c]:
             bits |= reach[child]
             pending_parents[child] -= 1
             if pending_parents[child] == 0:
                 del reach[child]  # no remaining consumers; free the bitset
-        size = int(bits.sum())
+        size = popcount(bits)
         sizes[members[c]] = size
         if pending_parents[c] > 0:
             reach[c] = bits

@@ -24,6 +24,7 @@ from repro.cascade.kernels import (
 )
 from repro.errors import CascadeError
 from repro.graphs.digraph import DiGraph
+from repro.utils.bitset import is_packed, num_words, pack_bits, unpack_bits
 from repro.utils.rng import RandomSource, as_rng
 
 
@@ -32,12 +33,22 @@ def sample_snapshots(
     model: CascadeModel,
     count: int,
     rng: RandomSource = None,
+    packed: bool = False,
 ) -> list[np.ndarray]:
-    """Draw *count* independent live-edge masks from *model* on *graph*."""
+    """Draw *count* independent live-edge masks from *model* on *graph*.
+
+    With ``packed=True`` each mask is returned as a packed bitset
+    (``uint64`` words, 8x smaller) holding exactly the same bits — the
+    generator is consumed identically, so the packed sample is the packed
+    form of the boolean sample for the same *rng*.
+    """
     if count <= 0:
         raise CascadeError(f"snapshot count must be positive, got {count}")
     generator = as_rng(rng)
-    return [model.sample_live_mask(graph, generator) for _ in range(count)]
+    masks = [model.sample_live_mask(graph, generator) for _ in range(count)]
+    if packed:
+        return [pack_bits(mask) for mask in masks]
+    return masks
 
 
 class SnapshotOracle:
@@ -52,6 +63,11 @@ class SnapshotOracle:
     *kernel* selects the sweep implementation — the python BFS or the
     mask-filtered CSR frontier sweep (see :mod:`repro.cascade.kernels`);
     both visit the same nodes, so oracle results are kernel-independent.
+
+    Masks may be boolean-style (length *m*) or packed bitsets
+    (:mod:`repro.utils.bitset`); a homogeneous packed sample is kept packed
+    end to end — the stacked matrix stores one bit per edge — and every
+    oracle result is bit-identical across the two representations.
     """
 
     def __init__(
@@ -62,17 +78,34 @@ class SnapshotOracle:
     ) -> None:
         if not masks:
             raise CascadeError("at least one snapshot mask is required")
+        packed_words = num_words(graph.num_edges)
+        all_packed = all(is_packed(np.asarray(mask)) for mask in masks)
         for mask in masks:
-            if mask.shape != (graph.num_edges,):
+            expected = (packed_words,) if is_packed(np.asarray(mask)) else (
+                graph.num_edges,
+            )
+            if mask.shape != expected:
                 raise CascadeError(
                     f"mask shape {mask.shape} does not match edge count "
                     f"{graph.num_edges}"
                 )
         self.graph = graph
         self.masks = list(masks)
-        # Stacked (snapshots, edges) view: spread/reach sweep all snapshots
-        # in one reachable_mask_batch call instead of a per-mask loop.
-        self.mask_matrix = np.stack([np.asarray(mask, dtype=bool) for mask in self.masks])
+        # Stacked (snapshots, edges-or-words) view: spread/reach sweep all
+        # snapshots in one reachable_mask_batch call instead of a per-mask
+        # loop.  A fully packed sample stays packed (uint64 rows); mixed
+        # samples are normalized to boolean rows.
+        if all_packed:
+            self.mask_matrix = np.stack(self.masks)
+        else:
+            self.mask_matrix = np.stack(
+                [
+                    unpack_bits(mask, graph.num_edges)
+                    if is_packed(np.asarray(mask))
+                    else np.asarray(mask, dtype=bool)
+                    for mask in self.masks
+                ]
+            )
         self.kernel = resolve_kernel(kernel)
 
     @property

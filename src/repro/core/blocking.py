@@ -38,6 +38,7 @@ from repro.errors import SeedSelectionError
 from repro.exec.executor import Executor, resolve_executor
 from repro.exec.jobs import CompetitiveJob
 from repro.graphs.digraph import DiGraph
+from repro.graphs.store import maybe_ref
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.validation import check_positive_int
 
@@ -89,7 +90,7 @@ def _blocking_job(
         (rival, tuple(int(b) for b in blockers)) if blockers else (rival,)
     )
     return CompetitiveJob(
-        graph=graph,
+        graph=maybe_ref(graph),
         model=model,
         seed_sets=seed_sets,
         rounds=rounds,

@@ -66,6 +66,7 @@ from repro.exec.executor import Executor, resolve_executor
 from repro.exec.jobs import CompetitiveJob
 from repro.game.normal_form import NormalFormGame
 from repro.graphs.digraph import DiGraph
+from repro.graphs.store import maybe_ref
 from repro.lint import contracts
 from repro.obs.journal import RunJournal, current_journal
 from repro.obs.log import get_logger
@@ -337,6 +338,7 @@ def estimate_payoff_table(
     # order.
     job_cells: list[tuple[int, tuple[int, ...]]] = []
     jobs: list[CompetitiveJob] = []
+    payload = maybe_ref(graph)  # O(1) GraphRef when REPRO_GRAPH_STORE is set
     for draw in range(seed_draws):
         seed_sets = all_seed_sets[draw]
         for profile, profile_rounds in simulated:
@@ -345,7 +347,7 @@ def estimate_payoff_table(
                 sink.profile_start(profile, labels)
             jobs.append(
                 CompetitiveJob(
-                    graph=graph,
+                    graph=payload,
                     model=model,
                     seed_sets=tuple(
                         tuple(int(s) for s in seed_sets[i][profile[i]])

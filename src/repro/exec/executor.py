@@ -28,6 +28,7 @@ import atexit
 import cProfile
 import itertools
 import os
+import pickle
 import threading
 import time
 from dataclasses import dataclass
@@ -77,6 +78,11 @@ _JOBS_COMPLETED = counter("exec.jobs_completed")
 _QUEUE_WAIT_SECONDS = histogram("exec.queue_wait_seconds")
 _JOB_SECONDS = histogram("exec.job_seconds")
 _BATCH_SECONDS = histogram("exec.batch_seconds")
+# Pickled size of each submitted job, observed only on backends that
+# actually serialize payloads (process).  With GraphRef payloads this stays
+# O(1) per job regardless of graph size — the scale-out invariant the
+# large-graph smoke test asserts.
+_JOB_PAYLOAD_BYTES = histogram("exec.job_payload_bytes")
 _JOBS_BY_KERNEL = {
     name: counter(f"exec.jobs_kernel_{name}") for name in KERNELS
 }
@@ -161,6 +167,22 @@ class Executor:
         sequences = spawn_seed_sequences(generator, len(jobs))
         batch_id = next(_BATCH_IDS)
         kernel = _batch_kernel(jobs)
+        # Harvest worker-local metric deltas only when workers do not share
+        # this process's registry (process backend): serial/thread jobs
+        # already increment it directly, so merging would double-count.
+        harvest = not self._backend.shares_registry
+        # Measure submit-side payloads only where they are actually pickled
+        # (same condition as harvesting): serial/thread backends pass jobs
+        # by reference, so serializing them there would be pure overhead.
+        payload_bytes: int | None = None
+        if harvest:
+            sizes = [
+                len(pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL))
+                for job in jobs
+            ]
+            for size in sizes:
+                _JOB_PAYLOAD_BYTES.observe(float(size))
+            payload_bytes = int(sum(sizes))
         sink = current_journal()
         if sink is not None:
             sink.batch_start(
@@ -169,15 +191,12 @@ class Executor:
                 backend=self.backend_name,
                 workers=self.workers,
                 kernel=kernel,
+                payload_bytes=payload_bytes,
             )
         _BATCHES.inc()
         _JOBS_SUBMITTED.inc(len(jobs))
         for job in jobs:
             _JOBS_BY_KERNEL[resolve_kernel(getattr(job, "kernel", None))].inc()
-        # Harvest worker-local metric deltas only when workers do not share
-        # this process's registry (process backend): serial/thread jobs
-        # already increment it directly, so merging would double-count.
-        harvest = not self._backend.shares_registry
         registry = get_registry()
         profiler = cProfile.Profile() if profiling_enabled() else None
         outcomes: list[JobOutcome | None] = [None] * len(jobs)

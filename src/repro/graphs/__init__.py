@@ -1,7 +1,14 @@
 """Graph substrate: CSR directed graphs, loaders, generators, datasets, stats."""
 
 from repro.graphs.digraph import DiGraph
-from repro.graphs.loaders import load_edge_list, save_edge_list
+from repro.graphs.loaders import load_edge_list, save_edge_list, stream_edge_array
+from repro.graphs.store import (
+    GraphRef,
+    GraphStore,
+    default_store,
+    maybe_ref,
+    resolve_graph,
+)
 from repro.graphs.generators import (
     barabasi_albert,
     community_powerlaw,
@@ -23,8 +30,14 @@ from repro.graphs.stats import (
 
 __all__ = [
     "DiGraph",
+    "GraphRef",
+    "GraphStore",
+    "default_store",
+    "maybe_ref",
+    "resolve_graph",
     "load_edge_list",
     "save_edge_list",
+    "stream_edge_array",
     "barabasi_albert",
     "community_powerlaw",
     "copying_model",

@@ -14,14 +14,53 @@ paper-scale graphs are available with ``scale=1.0``.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from pathlib import Path
 from collections.abc import Callable
+
+import numpy as np
 
 from repro.errors import GraphError
 from repro.graphs.digraph import DiGraph
 from repro.graphs.generators import community_powerlaw, copying_model
+from repro.graphs.loaders import stream_edge_array
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.validation import check_fraction
+
+#: Directory holding real downloaded datasets (e.g. SNAP wiki-Talk.txt[.gz]).
+#: When set and the file is present, ``wiki`` loads the paper's actual graph
+#: at scale 1.0 instead of the synthetic surrogate.
+DATA_DIR_ENV_VAR = "REPRO_DATA_DIR"
+
+#: Accepted wiki-Talk filenames inside ``REPRO_DATA_DIR``, checked in order.
+_WIKI_FILENAMES = (
+    "wiki-Talk.txt",
+    "wiki-Talk.txt.gz",
+    "WikiTalk.txt",
+    "WikiTalk.txt.gz",
+)
+
+
+def real_wiki_path() -> Path | None:
+    """The real SNAP wiki-Talk edge list under ``REPRO_DATA_DIR``, if any."""
+    root = os.environ.get(DATA_DIR_ENV_VAR, "").strip()
+    if not root:
+        return None
+    for filename in _WIKI_FILENAMES:
+        candidate = Path(root) / filename
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def _load_real_wiki(path: Path) -> DiGraph:
+    """Stream-parse the real wiki-Talk edge list into a :class:`DiGraph`."""
+    edges = stream_edge_array(path)
+    labels = np.unique(edges)
+    src = np.searchsorted(labels, edges[:, 0])
+    dst = np.searchsorted(labels, edges[:, 1])
+    return DiGraph(labels.size, np.column_stack([src, dst]))
 
 
 @dataclass(frozen=True)
@@ -66,6 +105,13 @@ def _build_phy(scale: float, rng: RandomSource) -> DiGraph:
 
 
 def _build_wiki(scale: float, rng: RandomSource) -> DiGraph:
+    # At full scale, prefer the real SNAP edge list when the user has
+    # downloaded it (REPRO_DATA_DIR); partial scales always use the seeded
+    # surrogate — a real graph cannot be shrunk reproducibly.
+    if scale >= 1.0:
+        real = real_wiki_path()
+        if real is not None:
+            return _load_real_wiki(real)
     generator = as_rng(2394385 if rng is None else rng)
     n = _scaled(2_394_385, scale, 500)
     # wiki-Talk has ~2.1 arcs per node; the copying model with 2 out-edges
@@ -107,7 +153,9 @@ DATASETS: dict[str, DatasetSpec] = {
         description=(
             "Surrogate for SNAP wiki-Talk; Kleinberg copying model with the "
             "same arcs-per-node density and heavy in-degree tail.  Default "
-            "scale 0.05 (~120k nodes) keeps pure-Python simulation tractable."
+            "scale 0.05 (~120k nodes) keeps pure-Python simulation "
+            "tractable.  At scale 1.0 the real SNAP edge list is loaded "
+            "instead when REPRO_DATA_DIR holds wiki-Talk.txt[.gz]."
         ),
         default_scale=0.05,
         build=_build_wiki,
@@ -137,5 +185,10 @@ def phy(scale: float = 1.0, rng: RandomSource = None) -> DiGraph:
 
 
 def wiki(scale: float | None = None, rng: RandomSource = None) -> DiGraph:
-    """The wiki-Talk surrogate (default scale 0.05; paper scale is 2.39M nodes)."""
+    """The wiki-Talk surrogate (default scale 0.05; paper scale is 2.39M nodes).
+
+    At ``scale=1.0`` the real SNAP edge list is loaded when
+    ``REPRO_DATA_DIR`` contains ``wiki-Talk.txt`` (optionally gzipped);
+    otherwise the seeded synthetic surrogate is generated.
+    """
     return DATASETS["wiki"].load(scale=scale, rng=rng)

@@ -20,6 +20,7 @@ from collections.abc import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.errors import GraphError
+from repro.utils.bitset import lookup_bits
 
 
 class DiGraph:
@@ -51,7 +52,12 @@ class DiGraph:
             raise GraphError(f"num_nodes must be non-negative, got {num_nodes}")
         self._n = int(num_nodes)
 
-        edge_arr = np.asarray(list(edges), dtype=np.int64)
+        # Array input (loaders, stores, generators that already vectorized)
+        # is used as-is; only generic iterables pay the list round-trip.
+        if isinstance(edges, np.ndarray):
+            edge_arr = edges.astype(np.int64, copy=False)
+        else:
+            edge_arr = np.asarray(list(edges), dtype=np.int64)
         if edge_arr.size == 0:
             edge_arr = edge_arr.reshape(0, 2)
         if edge_arr.ndim != 2 or edge_arr.shape[1] != 2:
@@ -242,10 +248,12 @@ class DiGraph:
     ) -> np.ndarray:
         """Boolean array marking nodes reachable from *sources*.
 
-        *edge_mask*, if given, is a boolean array of length *m* indexed by
-        stable edge id; only edges whose mask entry is True are traversed
-        (this is the live-edge-snapshot primitive used by MixGreedy).
-        Sources themselves are always marked reachable.
+        *edge_mask*, if given, is a boolean array of length *m* — or its
+        packed-bitset equivalent (``uint64`` words, see
+        :mod:`repro.utils.bitset`) — indexed by stable edge id; only edges
+        whose mask entry is True are traversed (this is the
+        live-edge-snapshot primitive used by MixGreedy).  Sources themselves
+        are always marked reachable.
         """
         visited = np.zeros(self._n, dtype=bool)
         frontier: list[int] = []
@@ -262,7 +270,7 @@ class DiGraph:
                 lo, hi = indptr[u], indptr[u + 1]
                 nbrs = indices[lo:hi]
                 if edge_mask is not None:
-                    nbrs = nbrs[edge_mask[eids[lo:hi]]]
+                    nbrs = nbrs[lookup_bits(edge_mask, eids[lo:hi])]
                 for v in nbrs:
                     if not visited[v]:
                         visited[v] = True
@@ -273,6 +281,54 @@ class DiGraph:
     # ------------------------------------------------------------------ #
     # constructors / converters
     # ------------------------------------------------------------------ #
+
+    @classmethod
+    def _from_csr(
+        cls,
+        num_nodes: int,
+        out_indptr: np.ndarray,
+        out_indices: np.ndarray,
+        in_indptr: np.ndarray,
+        in_indices: np.ndarray,
+        edge_ids: np.ndarray,
+        fingerprint: int | None = None,
+    ) -> "DiGraph":
+        """Adopt already-built CSR arrays without re-deriving them.
+
+        This is the :class:`~repro.graphs.store.GraphStore` open path: the
+        arrays are typically read-only ``np.memmap`` views of on-disk
+        ``.npy`` files, so copying or re-sorting them would defeat the
+        point.  The caller vouches that the arrays satisfy the constructor
+        invariants (dedup'd, self-loop-free, consistent dtypes); the stored
+        *fingerprint* is adopted so cache keys match the graph the arrays
+        were saved from without a full re-hash.
+        """
+        n = int(num_nodes)
+        if out_indptr.shape != (n + 1,) or in_indptr.shape != (n + 1,):
+            raise GraphError(
+                f"indptr arrays must have shape ({n + 1},), got "
+                f"{out_indptr.shape} / {in_indptr.shape}"
+            )
+        m = int(out_indices.shape[0])
+        if in_indices.shape[0] != m or edge_ids.shape[0] != m:
+            raise GraphError(
+                "indices/edge_ids lengths disagree: "
+                f"{out_indices.shape[0]} / {in_indices.shape[0]} / "
+                f"{edge_ids.shape[0]}"
+            )
+        graph = object.__new__(cls)
+        graph._n = n
+        graph._m = m
+        graph._out_indptr = out_indptr
+        graph._out_indices = out_indices
+        graph._in_indptr = in_indptr
+        graph._in_indices = in_indices
+        graph._edge_ids = edge_ids
+        for arr in (out_indptr, out_indices, in_indptr, in_indices, edge_ids):
+            if arr.flags.writeable:
+                arr.setflags(write=False)
+        graph._fingerprint = fingerprint
+        return graph
 
     @classmethod
     def from_arrays(cls, num_nodes: int, src: np.ndarray, dst: np.ndarray) -> "DiGraph":

@@ -171,8 +171,14 @@ class RunJournal:
         backend: str,
         workers: int,
         kernel: str | None = None,
+        payload_bytes: int | None = None,
     ) -> None:
-        """A simulation batch was submitted to an execution backend."""
+        """A simulation batch was submitted to an execution backend.
+
+        ``payload_bytes`` is the summed pickled size of the batch's job
+        payloads; it is recorded only by backends that serialize jobs
+        (process), so its absence means jobs were passed by reference.
+        """
         self.emit(
             "batch_start",
             batch_id=int(batch_id),
@@ -180,6 +186,11 @@ class RunJournal:
             backend=backend,
             workers=int(workers),
             **({"kernel": kernel} if kernel is not None else {}),
+            **(
+                {"payload_bytes": int(payload_bytes)}
+                if payload_bytes is not None
+                else {}
+            ),
         )
 
     def batch_done(

@@ -1,0 +1,331 @@
+"""GraphStore persistence, GraphRef payloads, and streaming ingestion."""
+
+from __future__ import annotations
+
+import gzip
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.exec.executor import Executor
+from repro.exec.jobs import SnapshotShardJob, SpreadJob
+from repro.cascade.ic import IndependentCascade
+from repro.cascade.pools import SnapshotPool, shard_counts
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.loaders import load_edge_list, stream_edge_array
+from repro.graphs.store import (
+    STORE_ENV_VAR,
+    GraphRef,
+    GraphStore,
+    clear_handle_cache,
+    default_store,
+    is_store_entry,
+    maybe_ref,
+    resolve_graph,
+)
+from repro.utils.bitset import is_packed, unpack_bits
+
+
+@pytest.fixture(autouse=True)
+def _fresh_handle_cache():
+    clear_handle_cache()
+    yield
+    clear_handle_cache()
+
+
+class TestSaveOpenRoundTrip:
+    def test_round_trip_preserves_structure_and_fingerprint(self, tmp_path, karate):
+        store = GraphStore(tmp_path)
+        ref = store.save(karate, "karate")
+        assert "karate" in store
+        assert store.list_graphs() == ["karate"]
+        assert ref.num_nodes == karate.num_nodes
+        assert ref.num_edges == karate.num_edges
+        assert ref.fingerprint == karate.fingerprint
+        opened = store.open("karate")
+        assert opened.num_nodes == karate.num_nodes
+        assert opened.fingerprint == karate.fingerprint
+        for v in range(karate.num_nodes):
+            np.testing.assert_array_equal(
+                opened.out_neighbors(v), karate.out_neighbors(v)
+            )
+            np.testing.assert_array_equal(
+                opened.in_neighbors(v), karate.in_neighbors(v)
+            )
+
+    def test_opened_graph_is_memory_mapped(self, tmp_path, karate):
+        store = GraphStore(tmp_path)
+        store.save(karate, "karate")
+        clear_handle_cache()
+        opened = store.open("karate")
+        assert isinstance(opened._out_indices, np.memmap)
+
+    def test_default_name_is_fingerprint(self, tmp_path, karate):
+        store = GraphStore(tmp_path)
+        ref = store.save(karate)
+        assert ref.path.endswith(f"g{karate.fingerprint:016x}")
+
+    def test_ref_reads_meta_only(self, tmp_path, karate):
+        store = GraphStore(tmp_path)
+        store.save(karate, "karate")
+        ref = store.ref("karate")
+        assert ref.fingerprint == karate.fingerprint
+
+    def test_missing_entry_raises(self, tmp_path):
+        store = GraphStore(tmp_path)
+        with pytest.raises(GraphError):
+            store.open("nope")
+
+    def test_bad_names_rejected(self, tmp_path, karate):
+        store = GraphStore(tmp_path)
+        for bad in ("", "a/b", ".hidden"):
+            with pytest.raises(GraphError):
+                store.save(karate, bad)
+
+    def test_fingerprint_mismatch_raises(self, tmp_path, karate):
+        store = GraphStore(tmp_path)
+        ref = store.save(karate, "karate")
+        tampered = GraphRef(
+            path=ref.path,
+            fingerprint=ref.fingerprint ^ 1,
+            num_nodes=ref.num_nodes,
+            num_edges=ref.num_edges,
+        )
+        with pytest.raises(GraphError, match="fingerprint"):
+            tampered.open()
+
+    def test_is_store_entry(self, tmp_path, karate):
+        store = GraphStore(tmp_path)
+        ref = store.save(karate, "karate")
+        assert is_store_entry(ref.path)
+        assert not is_store_entry(tmp_path)
+
+
+class TestGraphRefPayloads:
+    def test_ref_pickles_small_and_resolves(self, tmp_path):
+        graph = erdos_renyi(500, 3000, rng=3)
+        store = GraphStore(tmp_path)
+        ref = store.save(graph, "er")
+        payload = pickle.dumps(ref, protocol=pickle.HIGHEST_PROTOCOL)
+        # O(1): a ref pickles in hundreds of bytes regardless of graph size
+        assert len(payload) < 1024
+        restored = pickle.loads(payload)
+        resolved = resolve_graph(restored)
+        assert resolved.fingerprint == graph.fingerprint
+
+    def test_handle_cache_returns_same_object(self, tmp_path, karate):
+        store = GraphStore(tmp_path)
+        ref = store.save(karate, "karate")
+        assert resolve_graph(ref) is resolve_graph(ref)
+
+    def test_resolve_graph_passes_digraph_through(self, karate):
+        assert resolve_graph(karate) is karate
+
+    def test_spread_job_runs_from_ref(self, tmp_path, karate):
+        store = GraphStore(tmp_path)
+        ref = store.save(karate, "karate")
+        model = IndependentCascade(0.1)
+        direct = SpreadJob(graph=karate, model=model, seeds=(0, 1), rounds=5)
+        via_ref = SpreadJob(graph=ref, model=model, seeds=(0, 1), rounds=5)
+        with Executor("serial") as executor:
+            a = executor.estimates([direct], rng=11)
+            b = executor.estimates([via_ref], rng=11)
+        assert a[0][0].mean == b[0][0].mean
+
+    def test_maybe_ref_identity_without_env(self, karate, monkeypatch):
+        monkeypatch.delenv(STORE_ENV_VAR, raising=False)
+        assert default_store() is None
+        assert maybe_ref(karate) is karate
+
+    def test_maybe_ref_persists_with_env(self, tmp_path, karate, monkeypatch):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path))
+        ref = maybe_ref(karate)
+        assert isinstance(ref, GraphRef)
+        assert ref.fingerprint == karate.fingerprint
+        # second call reuses the stored entry
+        again = maybe_ref(karate)
+        assert again.path == ref.path
+        # a ref passes through untouched
+        assert maybe_ref(ref) is ref
+
+
+class TestIngestEdgeList:
+    def _write(self, path, text):
+        path.write_text(text)
+        return path
+
+    def test_ingest_matches_load_edge_list(self, tmp_path):
+        text = "# comment\n10 20\n20 30\n10 30\n30 10\n"
+        src = self._write(tmp_path / "edges.txt", text)
+        expected, label_map = load_edge_list(src)
+        store = GraphStore(tmp_path / "store")
+        ref = store.ingest_edge_list(src, "small")
+        opened = store.open("small")
+        assert opened.num_nodes == expected.num_nodes
+        assert opened.num_edges == expected.num_edges
+        assert opened.fingerprint == expected.fingerprint
+        labels = store.labels("small")
+        assert labels is not None
+        np.testing.assert_array_equal(labels, sorted(label_map))
+        assert ref.num_edges == 4
+
+    def test_ingest_gzip(self, tmp_path):
+        raw = "0 1\n1 2\n2 0\n"
+        src = tmp_path / "edges.txt.gz"
+        with gzip.open(src, "wt") as handle:
+            handle.write(raw)
+        store = GraphStore(tmp_path / "store")
+        store.ingest_edge_list(src, "gz")
+        opened = store.open("gz")
+        assert opened.num_nodes == 3
+        assert opened.num_edges == 3
+        # dense 0..n-1 labels need no labels.npy sidecar
+        assert store.labels("gz") is None
+
+    def test_ingest_undirected_doubles_edges(self, tmp_path):
+        src = self._write(tmp_path / "edges.txt", "0 1\n1 2\n")
+        store = GraphStore(tmp_path / "store")
+        store.ingest_edge_list(src, "undir", directed=False)
+        opened = store.open("undir")
+        assert opened.num_edges == 4
+        np.testing.assert_array_equal(sorted(opened.out_neighbors(1)), [0, 2])
+
+    def test_stream_edge_array_chunked(self, tmp_path):
+        lines = "\n".join(f"{i} {i + 1}" for i in range(100))
+        src = self._write(tmp_path / "edges.txt", lines + "\n")
+        edges = stream_edge_array(src, chunk_lines=7)
+        assert edges.shape == (100, 2)
+        np.testing.assert_array_equal(edges[:, 0], np.arange(100))
+        np.testing.assert_array_equal(edges[:, 1], np.arange(1, 101))
+
+
+class TestLoaderVectorization:
+    def test_ndarray_input_fast_path(self):
+        edges = np.array([(0, 1), (1, 2), (2, 3)], dtype=np.int64)
+        from_array = DiGraph(4, edges)
+        from_list = DiGraph(4, [(0, 1), (1, 2), (2, 3)])
+        assert from_array.fingerprint == from_list.fingerprint
+
+    def test_searchsorted_relabel_matches_order(self, tmp_path):
+        # non-dense labels in scrambled order exercise the relabel path
+        text = "500 7\n7 42\n42 500\n"
+        src = tmp_path / "edges.txt"
+        src.write_text(text)
+        graph, label_map = load_edge_list(src)
+        assert graph.num_nodes == 3
+        assert sorted(label_map) == [7, 42, 500]
+        # labels are assigned in sorted-label order
+        assert label_map[7] == 0 and label_map[42] == 1 and label_map[500] == 2
+        np.testing.assert_array_equal(graph.out_neighbors(2), [0])
+
+
+class TestShardedPools:
+    def test_shard_counts_split(self):
+        assert shard_counts(10, 4) == [3, 3, 2, 2]
+        assert shard_counts(3, 8) == [1, 1, 1]
+        with pytest.raises(Exception):
+            shard_counts(5, 0)
+
+    def test_single_shard_masks_match_legacy_bool_sample(self, karate):
+        from repro.cascade.snapshots import sample_snapshots
+        from repro.utils.rng import as_rng
+
+        model = IndependentCascade(0.1)
+        pool = SnapshotPool(karate)
+        pool.token(42)
+        masks = pool.masks(model, 5)
+        assert all(is_packed(m) for m in masks)
+        key = pool._request_key(model, 5)
+        legacy = sample_snapshots(karate, model, 5, as_rng(pool._child_seed(key)))
+        for packed, expected in zip(masks, legacy):
+            np.testing.assert_array_equal(
+                unpack_bits(packed, karate.num_edges), expected
+            )
+
+    def test_sharded_masks_deterministic_and_complete(self, karate):
+        model = IndependentCascade(0.1)
+        one = SnapshotPool(karate, shards=3)
+        two = SnapshotPool(karate, shards=3)
+        one.token(7)
+        two.token(7)
+        a = one.masks(model, 10)
+        b = two.masks(model, 10)
+        assert len(a) == len(b) == 10
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_sharded_gains_match_single_shard(self, karate):
+        model = IndependentCascade(0.1)
+        flat = SnapshotPool(karate, shards=1)
+        sharded = SnapshotPool(karate, shards=4)
+        flat.token(5)
+        sharded.token(5)
+        # shard layouts differ, so compare against gains computed directly
+        # from each pool's own masks — pooling must be exact either way
+        from repro.cascade.pools import snapshot_initial_gains
+
+        for pool in (flat, sharded):
+            gains = pool.initial_gains(model, 8)
+            direct = snapshot_initial_gains(karate, pool.masks(model, 8))
+            assert gains == pytest.approx(direct)
+
+    def test_shard_job_matches_parent_side_masks(self, karate):
+        model = IndependentCascade(0.2)
+        pool = SnapshotPool(karate, shards=2)
+        pool.token(9)
+        key = pool._request_key(model, 6)
+        (seed0, size0), _ = pool._shard_seeds(key, 6)
+        job = SnapshotShardJob(
+            graph=karate, model=model, shard_seed=seed0, count=size0
+        )
+        estimates = job.run(np.random.default_rng(0))
+        assert len(estimates) == karate.num_nodes
+        assert all(e.samples == size0 for e in estimates)
+
+    def test_env_shards_override(self, karate, monkeypatch):
+        monkeypatch.setenv("REPRO_SNAPSHOT_SHARDS", "3")
+        pool = SnapshotPool(karate)
+        assert pool.shards == 3
+        monkeypatch.setenv("REPRO_SNAPSHOT_SHARDS", "bogus")
+        with pytest.raises(Exception):
+            SnapshotPool(karate)
+
+
+class TestPayloadMetric:
+    def test_serial_backend_records_no_payload(self, karate, tmp_path):
+        from repro.obs.journal import RunJournal, attached, read_journal
+
+        model = IndependentCascade(0.1)
+        job = SpreadJob(graph=karate, model=model, seeds=(0,), rounds=2)
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal, attached(journal):
+            with Executor("serial") as executor:
+                executor.run([job], rng=1)
+        starts = [
+            e for e in read_journal(path) if e["event"] == "batch_start"
+        ]
+        assert starts and "payload_bytes" not in starts[0]
+
+    def test_process_backend_journals_payload_bytes(self, karate, tmp_path):
+        from repro.obs.journal import RunJournal, attached, read_journal
+
+        store = GraphStore(tmp_path / "store")
+        ref = store.save(karate, "karate")
+        model = IndependentCascade(0.1)
+        raw = SpreadJob(graph=karate, model=model, seeds=(0,), rounds=1)
+        slim = SpreadJob(graph=ref, model=model, seeds=(0,), rounds=1)
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal, attached(journal):
+            with Executor("process", workers=2) as executor:
+                executor.run([raw], rng=1)
+                executor.run([slim], rng=1)
+        starts = [
+            e for e in read_journal(path) if e["event"] == "batch_start"
+        ]
+        assert len(starts) == 2
+        assert starts[0]["payload_bytes"] > starts[1]["payload_bytes"]
+        # the ref payload is O(1): well under a kilobyte
+        assert starts[1]["payload_bytes"] < 1024

@@ -1,9 +1,11 @@
 """Tests for repro.graphs.datasets (surrogate registry)."""
 
+import gzip
+
 import pytest
 
 from repro.errors import GraphError
-from repro.graphs.datasets import DATASETS, get_dataset, hep, phy, wiki
+from repro.graphs.datasets import DATASETS, get_dataset, hep, phy, real_wiki_path, wiki
 
 
 class TestRegistry:
@@ -69,3 +71,41 @@ class TestSurrogates:
         g = hep(scale=0.1)
         degrees = g.out_degrees()
         assert degrees.max() > 5 * degrees.mean()
+
+
+class TestRealWiki:
+    """REPRO_DATA_DIR loading of the real SNAP wiki-Talk edge list."""
+
+    EDGES = "0 1\n0 2\n1 2\n2 0\n3 1\n"
+
+    def test_no_env_means_no_real_path(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DATA_DIR", raising=False)
+        assert real_wiki_path() is None
+
+    def test_env_without_file_means_no_real_path(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_DATA_DIR", str(tmp_path))
+        assert real_wiki_path() is None
+
+    def test_real_path_found_plain_and_gzip(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_DATA_DIR", str(tmp_path))
+        gz = tmp_path / "wiki-Talk.txt.gz"
+        with gzip.open(gz, "wt") as fh:
+            fh.write(self.EDGES)
+        assert real_wiki_path() == gz
+        plain = tmp_path / "wiki-Talk.txt"
+        plain.write_text(self.EDGES)
+        assert real_wiki_path() == plain  # plain checked before gzip
+
+    def test_full_scale_wiki_loads_real_edge_list(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_DATA_DIR", str(tmp_path))
+        (tmp_path / "wiki-Talk.txt").write_text("# comment\n" + self.EDGES)
+        g = wiki(scale=1.0)
+        assert g.num_nodes == 4
+        assert g.num_edges == 5
+        assert sorted(g.out_neighbors(0)) == [1, 2]
+
+    def test_partial_scale_ignores_real_data(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_DATA_DIR", str(tmp_path))
+        (tmp_path / "wiki-Talk.txt").write_text(self.EDGES)
+        g = wiki(scale=0.001)
+        assert g.num_nodes >= 500  # surrogate floor, not the 4-node real graph
