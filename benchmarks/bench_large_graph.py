@@ -15,13 +15,13 @@ configuration model so it finishes in CI):
    **packed** masks at the expected 8x saving over boolean masks.
 
 The result trajectory is appended to the repo-root
-``BENCH_large_graph.json`` so future PRs can track the scale-out curve.
-``REPRO_BENCH_LARGE_NODES`` scales the graph down for smoke runs; the
-payload assertions hold at every scale (they are the point: the payload
-must not grow with the graph).
+``BENCH_large_graph.json`` through the atomic
+:class:`repro.experiments.trajectory.TrajectoryStore` so future PRs can
+track the scale-out curve.  ``REPRO_BENCH_LARGE_NODES`` scales the graph
+down for smoke runs; the payload assertions hold at every scale (they are
+the point: the payload must not grow with the graph).
 """
 
-import json
 import os
 import tempfile
 from datetime import datetime, timezone
@@ -33,6 +33,7 @@ from repro.cascade.ic import IndependentCascade
 from repro.cascade.pools import SnapshotPool
 from repro.exec import Executor
 from repro.exec.jobs import CompetitiveJob
+from repro.experiments.trajectory import TrajectoryStore
 from repro.graphs.generators import powerlaw_configuration
 from repro.graphs.store import GraphStore
 from repro.obs.journal import RunJournal, attached, read_journal
@@ -54,17 +55,11 @@ MODEL = IndependentCascade(0.02)
 #: magnitude under the O(n+m) cost of pickling the CSR arrays.
 MAX_PAYLOAD_PER_JOB = 8192
 
-_TRAJECTORY = Path(__file__).parent.parent / "BENCH_large_graph.json"
+_TRAJECTORY = TrajectoryStore(
+    Path(__file__).parent.parent / "BENCH_large_graph.json"
+)
 
 _POOL_MASK_BYTES = counter("cascade.pool_mask_bytes")
-
-
-def _append_trajectory(entry):
-    history = []
-    if _TRAJECTORY.exists():
-        history = json.loads(_TRAJECTORY.read_text())
-    history.append(entry)
-    _TRAJECTORY.write_text(json.dumps(history, indent=2) + "\n")
 
 
 def _degree_seeds(graph, k, rng):
@@ -187,7 +182,7 @@ def test_large_graph_scale_out(report):
             "pool_mask_sample_s": round(mask_watch.elapsed, 2),
         }
     )
-    _append_trajectory(traj)
+    _TRAJECTORY.append(traj)
     rows.append(
         {
             "cell": "payload/job",

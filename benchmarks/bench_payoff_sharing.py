@@ -14,14 +14,16 @@ groups.  Three properties are asserted:
 * **cache reuse** — a repeated ``get_real`` sweep on a warm ``repro.cache``
   reports nonzero ``cache.hits`` and runs no slower than the cold pass.
 
+The result trajectory is appended to the repo-root
+``BENCH_payoff_sharing.json`` through the atomic, schema-validated
+:class:`repro.experiments.trajectory.TrajectoryStore` (gate it with
+``python -m repro experiments gate --trajectory BENCH_payoff_sharing.json``).
+
 A cheap ``rounds=1`` warm-up table populates the selection cache before
 either timed run, so both modes replay phase 1 from the memo and the
 wall-clock ratio isolates the simulation-side saving the reduction buys.
-The result trajectory is appended to the repo-root
-``BENCH_payoff_sharing.json`` so future PRs can track the perf curve.
 """
 
-import json
 import math
 from datetime import datetime, timezone
 from pathlib import Path
@@ -32,6 +34,7 @@ from repro.core.getreal import get_real
 from repro.core.payoff import estimate_payoff_table
 from repro.core.strategy import StrategySpace
 from repro.exec import Executor
+from repro.experiments.trajectory import TrajectoryStore
 from repro.obs.metrics import counter
 from repro.utils.timing import Stopwatch
 
@@ -55,7 +58,9 @@ FULL_ASSERT_NODES = 1000
 # the worst cell at ~2.6 pooled stderrs for both r=3 and r=2.
 SEED = 23
 
-_TRAJECTORY = Path(__file__).parent.parent / "BENCH_payoff_sharing.json"
+_TRAJECTORY = TrajectoryStore(
+    Path(__file__).parent.parent / "BENCH_payoff_sharing.json"
+)
 
 _HITS = counter("cache.hits")
 
@@ -109,14 +114,6 @@ def _assert_equivalent(full, reduced):
                 f"reduced {b.mean:.2f} exceeds 3 pooled stderrs ({pooled:.3f})"
             )
     return worst
-
-
-def _append_trajectory(entry):
-    history = []
-    if _TRAJECTORY.exists():
-        history = json.loads(_TRAJECTORY.read_text())
-    history.append(entry)
-    _TRAJECTORY.write_text(json.dumps(history, indent=2) + "\n")
 
 
 def test_payoff_sharing_speedup(config, report):
@@ -207,7 +204,7 @@ def test_payoff_sharing_speedup(config, report):
             "cache_hits": warm_hits,
         }
 
-    _append_trajectory(traj)
+    _TRAJECTORY.append(traj)
     report(
         "Payoff work sharing - hep Table-4 workload",
         rows,

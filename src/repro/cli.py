@@ -10,6 +10,11 @@ Subcommands cover the everyday workflows:
 * ``getreal``  — run the full GetReal pipeline and print the equilibrium;
 * ``overlap``  — Jaccard overlap of two algorithms' seed sets;
 * ``block``    — place blocker seeds against a rival campaign;
+* ``experiments`` — declarative scenario-matrix orchestrator:
+  ``run`` executes a matrix spec and appends to its ``BENCH_*`` trajectory,
+  ``gate`` diffs the newest entry against the stored history and exits
+  non-zero on regressions, ``list`` shows registered scenario plugins
+  (and, with ``--matrix``, the expanded cells);
 * ``journal``  — per-profile timing/variance report from a run journal;
 * ``monitor``  — tail-follow a run journal and render a live dashboard;
 * ``obs trace``  — per-run span waterfall (self vs child time) from a journal;
@@ -40,12 +45,16 @@ Examples::
     python -m repro obs export --journal run.jsonl --format prom
     python -m repro overlap hep --first ddic --second mgic --k 20
     python -m repro block hep --rival ddic --k 5 --rival-k 10
+    python -m repro experiments run --matrix benchmarks/matrices/smoke.json
+    python -m repro experiments gate
+    python -m repro experiments list --matrix benchmarks/matrices/smoke.json
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import os
 import sys
 import time
@@ -309,6 +318,75 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    experiments = sub.add_parser(
+        "experiments",
+        help="scenario-matrix orchestrator: run/gate/list (docs/experiments.md)",
+    )
+    exp_sub = experiments.add_subparsers(dest="experiments_command", required=True)
+
+    exp_run = exp_sub.add_parser(
+        "run", help="expand a matrix spec, run every cell, append the trajectory"
+    )
+    exp_run.add_argument(
+        "--matrix", required=True, metavar="SPEC",
+        help="path to a JSON matrix spec (see docs/experiments.md)",
+    )
+    exp_run.add_argument(
+        "--output", default="results/experiments", metavar="DIR",
+        help="manifest/journal/cells output directory (default: %(default)s)",
+    )
+    exp_run.add_argument(
+        "--no-append", action="store_true",
+        help="skip appending the run's entry to the spec's trajectory file",
+    )
+    exp_run.add_argument(
+        "--log-level", default="warning",
+        help="logging threshold (debug/info/warning/error)",
+    )
+
+    exp_gate = exp_sub.add_parser(
+        "gate",
+        help="diff the newest trajectory entry against the stored history",
+    )
+    exp_gate.add_argument(
+        "--matrix", default=None, metavar="SPEC",
+        help="matrix spec naming the trajectory (default: read the manifest "
+        "written by the last 'experiments run' under --output)",
+    )
+    exp_gate.add_argument(
+        "--trajectory", default=None, metavar="PATH",
+        help="gate this trajectory file directly (overrides --matrix)",
+    )
+    exp_gate.add_argument(
+        "--output", default="results/experiments", metavar="DIR",
+        help="output directory of the run to gate (default: %(default)s)",
+    )
+    exp_gate.add_argument(
+        "--tolerance", type=float, default=0.2,
+        help="allowed fractional speedup regression (default: %(default)s)",
+    )
+    exp_gate.add_argument(
+        "--sigmas", type=float, default=3.0,
+        help="pooled-stderr multiplier for equivalence drift (default: %(default)s)",
+    )
+    exp_gate.add_argument(
+        "--time-tolerance", type=float, default=None, dest="time_tolerance",
+        help="also gate wall-clock keys at this fractional ceiling "
+        "(off by default: CI timing is noisy)",
+    )
+    exp_gate.add_argument(
+        "--log-level", default="warning",
+        help="logging threshold (debug/info/warning/error)",
+    )
+
+    exp_list = exp_sub.add_parser(
+        "list", help="list registered scenario plugins (and a matrix's cells)"
+    )
+    exp_list.add_argument(
+        "--matrix", default=None, metavar="SPEC",
+        help="also expand and print this matrix spec's cells",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="run the reprolint static-analysis rules (per-file RP001-RP009; "
@@ -367,6 +445,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "obs":
         return _run_obs(args)
+
+    if args.command == "experiments":
+        return _run_experiments(args)
 
     try:
         configure_logging(args.log_level, json=args.log_json)
@@ -431,6 +512,97 @@ def _run_obs(args: argparse.Namespace) -> int:
     except JournalError as exc:
         raise SystemExit(str(exc)) from exc
     return 0
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    """``repro experiments run|gate|list`` — orchestrator + regression gate."""
+    from repro.errors import ExperimentError, GateError, TrajectoryError
+    from repro.experiments.gate import gate_trajectory
+    from repro.experiments.orchestrator import MatrixSpec, run_matrix
+    from repro.experiments.scenarios import registered_scenarios
+
+    if getattr(args, "log_level", None):
+        try:
+            configure_logging(args.log_level)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
+
+    if args.experiments_command == "list":
+        print(format_table(registered_scenarios(), title="registered scenarios"))
+        if args.matrix:
+            spec = MatrixSpec.from_file(args.matrix)
+            rows = [{"cell": cell.cell_id} for cell in spec.expand()]
+            print()
+            print(
+                format_table(
+                    rows,
+                    title=f"matrix {spec.name} [{spec.scenario}] "
+                    f"({len(rows)} cells)",
+                )
+            )
+        return 0
+
+    if args.experiments_command == "run":
+        try:
+            spec = MatrixSpec.from_file(args.matrix)
+            result = run_matrix(
+                spec, output_dir=args.output, append=not args.no_append
+            )
+        except (ExperimentError, TrajectoryError) as exc:
+            raise SystemExit(str(exc)) from exc
+        print(
+            format_table(
+                result.results_rows,
+                title=f"matrix {spec.name} [{spec.scenario}]",
+            )
+        )
+        print(
+            f"\n{len(result.results) - len(result.failed)}/"
+            f"{len(result.results)} cells ok in "
+            f"{result.manifest['total_seconds']}s; manifest: "
+            f"{Path(args.output) / 'manifest.json'}"
+        )
+        if not args.no_append and spec.trajectory is not None:
+            print(f"trajectory appended: {spec.trajectory}")
+        if result.failed:
+            for cell in result.failed:
+                print(f"FAILED {cell.cell.cell_id}: {cell.error}")
+            return 1
+        return 0
+
+    # gate
+    trajectory = args.trajectory
+    if trajectory is None and args.matrix is not None:
+        spec = MatrixSpec.from_file(args.matrix)
+        if spec.trajectory is None:
+            raise SystemExit(
+                f"matrix {spec.name!r} declares no 'trajectory' to gate"
+            )
+        trajectory = spec.trajectory
+    if trajectory is None:
+        manifest_path = Path(args.output) / "manifest.json"
+        if not manifest_path.exists():
+            raise SystemExit(
+                "nothing to gate: pass --matrix/--trajectory or run "
+                f"'repro experiments run' first (no {manifest_path})"
+            )
+        manifest = json.loads(manifest_path.read_text())
+        trajectory = (manifest.get("matrix") or {}).get("trajectory")
+        if not trajectory:
+            raise SystemExit(
+                f"{manifest_path} records no trajectory; pass --trajectory"
+            )
+    try:
+        report = gate_trajectory(
+            trajectory,
+            tolerance=args.tolerance,
+            sigmas=args.sigmas,
+            time_tolerance=args.time_tolerance,
+        )
+    except (GateError, TrajectoryError) as exc:
+        raise SystemExit(str(exc)) from exc
+    print(report.render())
+    return 0 if report.passed else 1
 
 
 def _run_command(args: argparse.Namespace) -> int:

@@ -45,6 +45,14 @@ class ExperimentError(ReproError):
     """An experiment runner received an invalid configuration."""
 
 
+class TrajectoryError(ExperimentError):
+    """A benchmark trajectory file is corrupt or an entry is malformed."""
+
+
+class GateError(ExperimentError):
+    """A regression gate was misconfigured or lacked the data to run."""
+
+
 class ExecutionError(ReproError):
     """The batched execution engine was misconfigured or a backend failed."""
 

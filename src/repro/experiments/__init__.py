@@ -1,6 +1,29 @@
-"""Experiment harness: configuration and runners for every paper table/figure."""
+"""Experiment harness: configuration, runners, orchestrator, and gates.
+
+* :mod:`repro.experiments.config` / :mod:`repro.experiments.runners` —
+  the per-table/figure reproduction runners;
+* :mod:`repro.experiments.orchestrator` — the declarative scenario-matrix
+  runner behind ``python -m repro experiments run``;
+* :mod:`repro.experiments.scenarios` — the scenario plugin registry;
+* :mod:`repro.experiments.trajectory` — the atomic ``BENCH_*.json``
+  trajectory store;
+* :mod:`repro.experiments.gate` — the trajectory regression gate behind
+  ``python -m repro experiments gate``.
+"""
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.gate import (
+    GateFinding,
+    GateReport,
+    compare_entries,
+    gate_trajectory,
+)
+from repro.experiments.orchestrator import (
+    CellResult,
+    MatrixRunResult,
+    MatrixSpec,
+    run_matrix,
+)
 from repro.experiments.runners import (
     coefficient_rows,
     jaccard_rows,
@@ -11,6 +34,13 @@ from repro.experiments.runners import (
     spread_rows,
     table3_rows,
 )
+from repro.experiments.scenarios import (
+    ScenarioCell,
+    get_scenario,
+    registered_scenarios,
+    scenario,
+)
+from repro.experiments.trajectory import TrajectoryStore, append_trajectory
 
 __all__ = [
     "ExperimentConfig",
@@ -22,4 +52,18 @@ __all__ = [
     "response_time_rows",
     "sensitivity_rows",
     "coefficient_rows",
+    "MatrixSpec",
+    "MatrixRunResult",
+    "CellResult",
+    "run_matrix",
+    "ScenarioCell",
+    "scenario",
+    "get_scenario",
+    "registered_scenarios",
+    "TrajectoryStore",
+    "append_trajectory",
+    "GateFinding",
+    "GateReport",
+    "compare_entries",
+    "gate_trajectory",
 ]

@@ -53,7 +53,12 @@ from repro.cascade import (
 from repro.core.payoff import SYMMETRY_ENV_VAR, resolve_symmetry
 from repro.core.strategy import StrategySpace
 from repro.errors import ExperimentError
-from repro.exec.executor import BACKEND_ENV_VAR, Executor, build_executor
+from repro.exec.executor import (
+    BACKEND_ENV_VAR,
+    WORKERS_ENV_VAR,
+    Executor,
+    build_executor,
+)
 from repro.graphs.datasets import DATASETS
 from repro.graphs.digraph import DiGraph
 
@@ -80,6 +85,30 @@ def _env_ks(name: str, default: tuple[int, ...]) -> tuple[int, ...]:
     return tuple(int(part) for part in raw.split(","))
 
 
+def _env_workers() -> int | None:
+    """``REPRO_WORKERS``: unset/empty means auto, otherwise an int >= 1.
+
+    Rejecting zero and negatives here (instead of letting them reach the
+    executor) mirrors how ``resolve_kernel``/``resolve_symmetry`` fail fast
+    on bad environment values — previously ``REPRO_WORKERS=0`` silently
+    meant auto and ``-2`` passed straight through to the worker pool.
+    """
+    raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ExperimentError(
+            f"{WORKERS_ENV_VAR} must be an integer >= 1 or unset, got {raw!r}"
+        ) from exc
+    if value < 1:
+        raise ExperimentError(
+            f"{WORKERS_ENV_VAR} must be >= 1 or unset, got {value}"
+        )
+    return value
+
+
 @dataclass
 class ExperimentConfig:
     """All knobs shared by the benchmark harness and the examples."""
@@ -102,9 +131,7 @@ class ExperimentConfig:
     backend: str = field(
         default_factory=lambda: _env_str(BACKEND_ENV_VAR, "serial")
     )
-    workers: int | None = field(
-        default_factory=lambda: _env_int("REPRO_WORKERS", 0) or None
-    )
+    workers: int | None = field(default_factory=_env_workers)
     kernel: str = field(
         default_factory=lambda: resolve_kernel(
             _env_str(KERNEL_ENV_VAR, "python")

@@ -27,8 +27,11 @@ from repro.experiments.runners import (
     spread_rows,
     table3_rows,
 )
+from repro.obs.log import get_logger
 from repro.utils.tables import format_table, write_csv
 from repro.utils.timing import Stopwatch
+
+_LOG = get_logger("experiments.suite")
 
 PathLike = str | Path
 
@@ -77,8 +80,17 @@ def run_suite(
     output_dir: PathLike,
     config: ExperimentConfig | None = None,
     only: Sequence[str] | None = None,
+    raise_on_error: bool = True,
 ) -> dict:
     """Run (a subset of) the campaign; returns and writes the manifest.
+
+    A runner that raises no longer aborts the campaign with nothing to show
+    for the experiments that already completed: the failure is recorded in
+    the manifest (``status: "failed"`` plus the error), the remaining
+    experiments still run, and — with ``raise_on_error=True``, the
+    default — an :class:`ExperimentError` summarizing the failures is
+    raised *after* the manifest has been written, so scripted callers exit
+    non-zero without losing the partial results.
 
     Parameters
     ----------
@@ -89,6 +101,9 @@ def run_suite(
         Experiment configuration; defaults to the env-driven one.
     only:
         Experiment ids to run (default: all).  Unknown ids raise.
+    raise_on_error:
+        Raise after writing the manifest when any experiment failed;
+        ``False`` returns the manifest (check ``manifest["status"]``).
     """
     if config is None:
         config = ExperimentConfig()
@@ -113,18 +128,40 @@ def run_suite(
         },
         "experiments": {},
     }
+    failed: list[str] = []
     for name in requested:
         watch = Stopwatch()
-        with watch:
-            rows = EXPERIMENTS[name](config)
+        try:
+            with watch:
+                rows = EXPERIMENTS[name](config)
+        except Exception as exc:
+            # One broken runner must not erase the completed cells of the
+            # campaign: record it, keep going, report at the end.
+            _LOG.warning("experiment %s failed: %s", name, exc)
+            failed.append(name)
+            manifest["experiments"][name] = {
+                "status": "failed",
+                "error": f"{type(exc).__name__}: {exc}",
+                "seconds": round(watch.elapsed, 3),
+            }
+            continue
         (out / f"{name}.txt").write_text(
             format_table(rows, title=name) + "\n"
         )
         if rows:
             write_csv(rows, out / f"{name}.csv")
         manifest["experiments"][name] = {
+            "status": "ok",
             "rows": len(rows),
             "seconds": round(watch.elapsed, 3),
         }
+    manifest["status"] = "ok" if not failed else "failed"
+    if failed:
+        manifest["failed"] = failed
     (out / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    if failed and raise_on_error:
+        raise ExperimentError(
+            f"{len(failed)} of {len(requested)} experiment(s) failed: "
+            f"{failed} (manifest written to {out / 'manifest.json'})"
+        )
     return manifest

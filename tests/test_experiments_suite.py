@@ -53,3 +53,50 @@ class TestRunSuite:
     def test_creates_nested_directories(self, tiny_config, tmp_path):
         run_suite(tmp_path / "a" / "b", config=tiny_config, only=["table3"])
         assert (tmp_path / "a" / "b" / "table3.txt").exists()
+
+
+class TestFailureHonesty:
+    """One broken runner must not erase or mask the rest of the campaign."""
+
+    @pytest.fixture
+    def broken_registry(self, monkeypatch):
+        def boom(config):
+            raise ValueError("runner exploded")
+
+        monkeypatch.setitem(EXPERIMENTS, "table3", boom)
+
+    def test_failure_recorded_and_raised_after_manifest(
+        self, tiny_config, tmp_path, broken_registry
+    ):
+        out = tmp_path / "out"
+        with pytest.raises(ExperimentError, match="1 of 2 experiment"):
+            run_suite(out, config=tiny_config, only=["table3", "fig3"])
+        # The manifest was still written, with the failure recorded honestly
+        # and the healthy experiment's outputs intact.
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["status"] == "failed"
+        assert manifest["failed"] == ["table3"]
+        assert manifest["experiments"]["table3"]["status"] == "failed"
+        assert "ValueError: runner exploded" in (
+            manifest["experiments"]["table3"]["error"]
+        )
+        assert manifest["experiments"]["fig3"]["status"] == "ok"
+        assert (out / "fig3.txt").exists()
+        assert not (out / "table3.txt").exists()
+
+    def test_raise_on_error_false_returns_manifest(
+        self, tiny_config, tmp_path, broken_registry
+    ):
+        manifest = run_suite(
+            tmp_path / "out",
+            config=tiny_config,
+            only=["table3", "fig3"],
+            raise_on_error=False,
+        )
+        assert manifest["status"] == "failed"
+        assert manifest["experiments"]["fig3"]["status"] == "ok"
+
+    def test_all_ok_manifest_status(self, tiny_config, tmp_path):
+        manifest = run_suite(tmp_path / "out", config=tiny_config, only=["fig3"])
+        assert manifest["status"] == "ok"
+        assert "failed" not in manifest

@@ -1,0 +1,173 @@
+"""Tests for the atomic, schema-validated trajectory store."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import TrajectoryError
+from repro.experiments import trajectory as trajectory_mod
+from repro.experiments.trajectory import (
+    CORRUPT_SUFFIX,
+    TrajectoryStore,
+    append_trajectory,
+    validate_entry,
+)
+
+ENTRY = {"timestamp": "2026-08-08T00:00:00+00:00", "speedup": 2.5}
+
+
+@pytest.fixture
+def store(tmp_path) -> TrajectoryStore:
+    return TrajectoryStore(tmp_path / "BENCH_demo.json")
+
+
+class TestValidation:
+    def test_valid_entry_round_trips(self):
+        assert validate_entry(ENTRY) == ENTRY
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(TrajectoryError, match="JSON objects"):
+            validate_entry([1, 2, 3])
+
+    def test_missing_timestamp_rejected(self):
+        with pytest.raises(TrajectoryError, match="timestamp"):
+            validate_entry({"speedup": 2.0})
+
+    @pytest.mark.parametrize("timestamp", ["", "   ", None, 12345])
+    def test_bad_timestamp_rejected(self, timestamp):
+        with pytest.raises(TrajectoryError, match="non-empty string"):
+            validate_entry({"timestamp": timestamp})
+
+    def test_nan_rejected(self):
+        with pytest.raises(TrajectoryError, match="JSON-serializable"):
+            validate_entry({"timestamp": "t", "bad": float("nan")})
+
+    def test_non_serializable_rejected(self):
+        with pytest.raises(TrajectoryError, match="JSON-serializable"):
+            validate_entry({"timestamp": "t", "bad": object()})
+
+    def test_append_rejects_invalid_without_touching_file(self, store):
+        store.append(ENTRY)
+        with pytest.raises(TrajectoryError):
+            store.append({"no": "timestamp"})
+        assert store.read() == [ENTRY]
+
+
+class TestReadWrite:
+    def test_missing_file_reads_empty(self, store):
+        assert store.read() == []
+        assert store.last() is None
+        assert len(store) == 0
+
+    def test_empty_file_reads_empty(self, store):
+        store.path.write_text("  \n")
+        assert store.read() == []
+
+    def test_append_round_trip(self, store):
+        store.append(ENTRY)
+        later = {**ENTRY, "timestamp": "2026-08-09T00:00:00+00:00"}
+        store.append(later)
+        assert store.read() == [ENTRY, later]
+        assert store.last() == later
+        assert len(store) == 2
+        # The file itself is standard, pretty-printed JSON.
+        history = json.loads(store.path.read_text())
+        assert history == [ENTRY, later]
+
+    def test_append_creates_parent_directories(self, tmp_path):
+        nested = TrajectoryStore(tmp_path / "a" / "b" / "BENCH_x.json")
+        nested.append(ENTRY)
+        assert nested.read() == [ENTRY]
+
+    def test_append_trajectory_convenience(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        append_trajectory(path, ENTRY)
+        assert TrajectoryStore(path).read() == [ENTRY]
+
+    def test_no_stray_temp_files_after_append(self, store):
+        store.append(ENTRY)
+        store.append({**ENTRY, "timestamp": "t2"})
+        assert [p.name for p in store.path.parent.iterdir()] == [store.path.name]
+
+
+class TestCorruption:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            '[{"timestamp": "t", "trunc',  # truncated mid-write
+            '{"timestamp": "t"}',  # object, not array
+            '[{"speedup": 2.0}]',  # entry missing timestamp
+            "not json at all",
+        ],
+    )
+    def test_read_raises_on_corrupt_file(self, store, payload):
+        store.path.write_text(payload)
+        with pytest.raises(TrajectoryError):
+            store.read()
+
+    def test_recover_quarantines_corrupt_file(self, store):
+        store.path.write_text('[{"timestamp": "t", "trunc')
+        assert store.recover() == []
+        quarantine = store.path.with_name(store.path.name + CORRUPT_SUFFIX)
+        assert not store.path.exists()
+        assert quarantine.read_text() == '[{"timestamp": "t", "trunc'
+
+    def test_append_recovers_and_starts_fresh_history(self, store):
+        store.path.write_text("garbage")
+        store.append(ENTRY)
+        assert store.read() == [ENTRY]
+        quarantine = store.path.with_name(store.path.name + CORRUPT_SUFFIX)
+        assert quarantine.read_text() == "garbage"
+
+    def test_append_without_recover_raises(self, store):
+        store.path.write_text("garbage")
+        with pytest.raises(TrajectoryError):
+            store.append(ENTRY, recover=False)
+        # The corrupt evidence is untouched.
+        assert store.path.read_text() == "garbage"
+
+
+class TestAtomicity:
+    def test_crash_before_replace_preserves_history(self, store, monkeypatch):
+        """A crash mid-write must leave the previous file bit-identical."""
+        store.append(ENTRY)
+        before = store.path.read_bytes()
+
+        def boom(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(trajectory_mod.os, "replace", boom)
+        with pytest.raises(OSError, match="simulated crash"):
+            store.append({**ENTRY, "timestamp": "t2"})
+        assert store.path.read_bytes() == before
+        # ... and the aborted temp file was cleaned up.
+        assert [p.name for p in store.path.parent.iterdir()] == [store.path.name]
+
+    def test_crash_during_fsync_preserves_history(self, store, monkeypatch):
+        store.append(ENTRY)
+        before = store.path.read_bytes()
+        real_fsync = os.fsync
+
+        def boom(fd):
+            raise OSError("simulated fsync failure")
+
+        monkeypatch.setattr(trajectory_mod.os, "fsync", boom)
+        with pytest.raises(OSError, match="fsync failure"):
+            store.append({**ENTRY, "timestamp": "t2"})
+        monkeypatch.setattr(trajectory_mod.os, "fsync", real_fsync)
+        assert store.path.read_bytes() == before
+        assert [p.name for p in store.path.parent.iterdir()] == [store.path.name]
+
+    def test_writes_go_through_same_directory_temp(self, store, monkeypatch):
+        """The temp file must live next to the target (same filesystem)."""
+        seen = {}
+        real_mkstemp = trajectory_mod.tempfile.mkstemp
+
+        def spy(**kwargs):
+            seen.update(kwargs)
+            return real_mkstemp(**kwargs)
+
+        monkeypatch.setattr(trajectory_mod.tempfile, "mkstemp", spy)
+        store.append(ENTRY)
+        assert seen["dir"] == store.path.parent
