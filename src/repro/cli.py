@@ -198,6 +198,32 @@ def build_parser() -> argparse.ArgumentParser:
     seeds.add_argument("--algorithm", default="ddic")
     seeds.add_argument("--k", type=int, default=10)
     seeds.add_argument("--probability", type=float, default=0.05, help="IC p")
+    seeds.add_argument(
+        "--incremental",
+        action="store_true",
+        help="select through an IncrementalSession (stable snapshots + "
+        "CELF repair; exports REPRO_INCREMENTAL=1 for the command)",
+    )
+    seeds.add_argument(
+        "--delta",
+        metavar="FILE",
+        default=None,
+        help="JSON file {\"added\": [[u, v], ...], \"removed\": [...]} to "
+        "apply after the cold selection (requires --incremental); prints "
+        "the repaired seed set and repair stats",
+    )
+    seeds.add_argument(
+        "--snapshots",
+        type=int,
+        default=8,
+        help="live-edge snapshots for --incremental selection",
+    )
+    seeds.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="structural shard count for --incremental cache scoping",
+    )
 
     getreal = sub.add_parser("getreal", help="run the GetReal pipeline")
     _add_common(getreal)
@@ -389,12 +415,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run the reprolint static-analysis rules (per-file RP001-RP009; "
-        "--project adds the whole-program RP010-RP016)",
+        help="run the reprolint static-analysis rules (per-file RP001-RP009 "
+        "and RP017; --project adds the whole-program RP010-RP016)",
     )
     add_lint_arguments(lint)
 
     return parser
+
+
+@contextlib.contextmanager
+def _incremental_override(requested: bool) -> Iterator[None]:
+    """Export ``--incremental`` as ``REPRO_INCREMENTAL=1`` for the command.
+
+    Mirrors :func:`_kernel_override`: code built inside the command (the
+    session, drivers consulting :func:`repro.incremental.incremental_requested`)
+    resolves the switch through the environment.  Restored on exit.  An
+    explicit ``REPRO_INCREMENTAL=off`` kill-switch wins over the flag —
+    the flag still selects the session code path, but warm shortcuts stay
+    disabled and every answer recomputes cold.
+    """
+    if not requested:
+        yield
+        return
+    from repro.incremental import INCREMENTAL_ENV_VAR, incremental_enabled
+
+    if not incremental_enabled():
+        yield
+        return
+    previous = os.environ.get(INCREMENTAL_ENV_VAR)
+    os.environ[INCREMENTAL_ENV_VAR] = "1"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(INCREMENTAL_ENV_VAR, None)
+        else:
+            os.environ[INCREMENTAL_ENV_VAR] = previous
 
 
 @contextlib.contextmanager
@@ -453,7 +509,8 @@ def main(argv: list[str] | None = None) -> int:
         configure_logging(args.log_level, json=args.log_json)
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
-    with _kernel_override(args.kernel):
+    incremental = bool(getattr(args, "incremental", False))
+    with _kernel_override(args.kernel), _incremental_override(incremental):
         journal = RunJournal(args.journal) if args.journal else None
         if journal is None:
             return _run_command(args)
@@ -463,8 +520,24 @@ def main(argv: list[str] | None = None) -> int:
         attach_journal(journal)
         started = time.perf_counter()
         if wrap_run:
+            # Incremental runs bundle the resolved kernel and shard layout
+            # into run_start so `repro obs trace` can attribute warm vs
+            # cold paths without re-deriving run configuration.
+            extra: dict[str, object] = {}
+            if incremental:
+                from repro.cascade.kernels import resolve_kernel
+                from repro.utils.shards import DEFAULT_NUM_SHARDS
+
+                extra = {
+                    "kernel": resolve_kernel(args.kernel),
+                    "shards": getattr(args, "shards", None)
+                    or DEFAULT_NUM_SHARDS,
+                    "incremental": True,
+                }
             journal.run_start(
-                args.command, argv=[str(a) for a in (argv or sys.argv[1:])]
+                args.command,
+                argv=[str(a) for a in (argv or sys.argv[1:])],
+                **extra,
             )
         try:
             code = _run_command(args)
@@ -605,6 +678,46 @@ def _run_experiments(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _seeds_incremental(args: argparse.Namespace, graph: DiGraph) -> int:
+    """``repro seeds --incremental``: session select, optional delta + repair."""
+    from repro.graphs.delta import EdgeDelta
+    from repro.incremental import IncrementalSession
+    from repro.utils.shards import DEFAULT_NUM_SHARDS
+
+    session = IncrementalSession(
+        graph,
+        IndependentCascade(args.probability),
+        num_snapshots=args.snapshots,
+        kernel=args.kernel,
+        num_shards=args.shards or DEFAULT_NUM_SHARDS,
+        rng=args.seed,
+    )
+    selected = session.select(args.k)
+    print(f"incremental seeds (k={args.k}): {selected}")
+    if not args.delta:
+        return 0
+    spec = json.loads(Path(args.delta).read_text())
+    delta = EdgeDelta.of(
+        added=[tuple(edge) for edge in spec.get("added", [])],
+        removed=[tuple(edge) for edge in spec.get("removed", [])],
+    )
+    outcome = session.apply_delta(delta)
+    result = session.reselect(args.k)
+    inv = outcome.invalidation
+    print(
+        f"delta applied: +{outcome.applied.num_added} -"
+        f"{outcome.applied.num_removed} edges; dirty shards "
+        f"{list(inv.dirty_shards)}/{inv.num_shards}, cache entries dropped: "
+        f"{inv.selection_dropped + inv.blocking_dropped + inv.shard_entries_dropped}"
+    )
+    print(
+        f"repaired seeds (k={args.k}): {list(result.seeds)} "
+        f"[depth={result.repair_depth} evals={result.evaluations} "
+        f"repaired={result.repaired} fallback={result.fallback}]"
+    )
+    return 0
+
+
 def _run_command(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.scale, directed=not args.undirected)
     # The with-block shuts pooled workers down before interpreter exit;
@@ -620,6 +733,10 @@ def _dispatch(args: argparse.Namespace, graph: DiGraph, executor: Executor) -> i
         return 0
 
     if args.command == "seeds":
+        if args.incremental:
+            return _seeds_incremental(args, graph)
+        if args.delta:
+            raise SystemExit("--delta requires --incremental")
         algo = _algorithm(args.algorithm, args.probability)
         selected = algo.select(graph, args.k, rng=args.seed)
         print(f"{algo.name} seeds (k={args.k}): {selected}")

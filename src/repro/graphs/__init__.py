@@ -1,6 +1,7 @@
 """Graph substrate: CSR directed graphs, loaders, generators, datasets, stats."""
 
 from repro.graphs.digraph import DiGraph
+from repro.graphs.delta import AppliedDelta, EdgeDelta, merge_delta
 from repro.graphs.loaders import load_edge_list, save_edge_list, stream_edge_array
 from repro.graphs.store import (
     GraphRef,
@@ -29,8 +30,11 @@ from repro.graphs.stats import (
 )
 
 __all__ = [
+    "AppliedDelta",
     "DiGraph",
+    "EdgeDelta",
     "GraphRef",
+    "merge_delta",
     "GraphStore",
     "default_store",
     "maybe_ref",

@@ -16,11 +16,15 @@ from __future__ import annotations
 
 import hashlib
 from collections.abc import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import GraphError
 from repro.utils.bitset import lookup_bits
+
+if TYPE_CHECKING:
+    from repro.graphs.delta import EdgeDelta
 
 
 class DiGraph:
@@ -45,6 +49,8 @@ class DiGraph:
         "_in_indices",
         "_edge_ids",
         "_fingerprint",
+        "_in_edge_ids",
+        "_shard_hashes",
     )
 
     def __init__(self, num_nodes: int, edges: Iterable[tuple[int, int]]) -> None:
@@ -111,6 +117,8 @@ class DiGraph:
             arr.setflags(write=False)
 
         self._fingerprint: int | None = None
+        self._in_edge_ids: np.ndarray | None = None
+        self._shard_hashes: dict[int, tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -237,6 +245,23 @@ class DiGraph:
         """Raw in-CSR column indices (read-only)."""
         return self._in_indices
 
+    @property
+    def in_edge_ids(self) -> np.ndarray:
+        """Stable edge id of each in-CSR position (read-only).
+
+        The in-direction counterpart of :attr:`edge_ids`: ``in_edge_ids[i]``
+        indexes per-edge attribute arrays for the edge stored at in-CSR
+        position *i*.  Derived lazily — the in-CSR is built by a stable sort
+        on destination over edge-id order, so the permutation is recovered
+        by repeating that sort — and cached (delta merges pre-populate it).
+        """
+        if self._in_edge_ids is None:
+            _, dst = self.edge_array()
+            in_edge_ids = np.argsort(dst, kind="stable").astype(np.int64)
+            in_edge_ids.setflags(write=False)
+            self._in_edge_ids = in_edge_ids
+        return self._in_edge_ids
+
     # ------------------------------------------------------------------ #
     # traversal
     # ------------------------------------------------------------------ #
@@ -270,6 +295,43 @@ class DiGraph:
                 lo, hi = indptr[u], indptr[u + 1]
                 nbrs = indices[lo:hi]
                 if edge_mask is not None:
+                    nbrs = nbrs[lookup_bits(edge_mask, eids[lo:hi])]
+                for v in nbrs:
+                    if not visited[v]:
+                        visited[v] = True
+                        next_frontier.append(int(v))
+            frontier = next_frontier
+        return visited
+
+    def reverse_reachable_from(
+        self,
+        sources: Sequence[int],
+        edge_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Boolean array marking nodes that can *reach* one of *sources*.
+
+        The in-CSR mirror of :meth:`reachable_from`: traverses edges
+        backwards, filtering by the same stable-edge-id *edge_mask* (boolean
+        or packed).  This is the blast-radius primitive of the incremental
+        layer — the nodes whose reach sets a changed edge can affect are
+        exactly the reverse-reachable set of its source endpoint.
+        """
+        visited = np.zeros(self._n, dtype=bool)
+        frontier: list[int] = []
+        for s in sources:
+            self._check_node(s)
+            if not visited[s]:
+                visited[s] = True
+                frontier.append(int(s))
+
+        indptr, indices = self._in_indptr, self._in_indices
+        eids = self.in_edge_ids if edge_mask is not None else None
+        while frontier:
+            next_frontier: list[int] = []
+            for u in frontier:
+                lo, hi = indptr[u], indptr[u + 1]
+                nbrs = indices[lo:hi]
+                if edge_mask is not None and eids is not None:
                     nbrs = nbrs[lookup_bits(edge_mask, eids[lo:hi])]
                 for v in nbrs:
                     if not visited[v]:
@@ -328,7 +390,22 @@ class DiGraph:
             if arr.flags.writeable:
                 arr.setflags(write=False)
         graph._fingerprint = fingerprint
+        graph._in_edge_ids = None
+        graph._shard_hashes = {}
         return graph
+
+    def apply_delta(self, delta: "EdgeDelta") -> "DiGraph":
+        """The graph with *delta*'s edge changes applied (vectorized merge).
+
+        Bit-identical — CSR arrays, edge-id permutation, fingerprint — to
+        rebuilding from the merged edge list; see
+        :func:`repro.graphs.delta.merge_delta` for the full contract and
+        the :class:`~repro.graphs.delta.AppliedDelta` id maps it also
+        returns.
+        """
+        from repro.graphs.delta import merge_delta
+
+        return merge_delta(self, delta).graph
 
     @classmethod
     def from_arrays(cls, num_nodes: int, src: np.ndarray, dst: np.ndarray) -> "DiGraph":

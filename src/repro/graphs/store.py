@@ -37,6 +37,7 @@ import os
 import threading
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -44,6 +45,9 @@ from repro.errors import GraphError
 from repro.graphs.digraph import DiGraph
 from repro.graphs.loaders import PathLike, stream_edge_array
 from repro.obs.metrics import counter
+
+if TYPE_CHECKING:
+    from repro.graphs.delta import EdgeDelta
 
 __all__ = [
     "STORE_ENV_VAR",
@@ -66,6 +70,7 @@ _ARRAY_NAMES = ("out_indptr", "out_indices", "in_indptr", "in_indices", "edge_id
 _STORE_SAVES = counter("graphs.store_saves")
 _STORE_OPENS = counter("graphs.store_opens")
 _STORE_CACHE_HITS = counter("graphs.store_cache_hits")
+_STORE_DELTAS = counter("graphs.store_deltas")
 
 
 @dataclass(frozen=True)
@@ -245,6 +250,49 @@ class GraphStore:
             num_nodes=graph.num_nodes,
             num_edges=graph.num_edges,
         )
+
+    def apply_delta(
+        self,
+        graph: str | GraphRef | DiGraph,
+        delta: "EdgeDelta",
+        name: str | None = None,
+    ) -> GraphRef:
+        """Patch a stored graph and persist the child as a new entry.
+
+        *graph* may be an entry name, a :class:`GraphRef`, or an in-memory
+        :class:`DiGraph`; the child entry is named after its fingerprint by
+        default, so re-applying the same delta is idempotent.  Each
+        application appends one JSON line to the store-level
+        ``deltas.jsonl`` journal — parent/child fingerprints, the edge
+        lists, and the no-op counts — so a store's version lineage can be
+        reconstructed (:meth:`delta_log`) and replayed.
+        """
+        from repro.graphs.delta import merge_delta
+
+        parent = self.open(graph) if isinstance(graph, str) else resolve_graph(graph)
+        applied = merge_delta(parent, delta)
+        child_ref = self.save(applied.graph, name)
+        record = {
+            "parent_fingerprint": parent.fingerprint,
+            "child_fingerprint": applied.graph.fingerprint,
+            "child_path": child_ref.path,
+            "added": [[int(u), int(v)] for u, v in applied.added_edges],
+            "removed": [[int(u), int(v)] for u, v in applied.removed_edges],
+            "noop_added": applied.noop_added,
+            "noop_removed": applied.noop_removed,
+        }
+        with open(self.root / "deltas.jsonl", "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+        _STORE_DELTAS.inc()
+        return child_ref
+
+    def delta_log(self) -> list[dict[str, object]]:
+        """Every recorded delta application, oldest first."""
+        path = self.root / "deltas.jsonl"
+        if not path.is_file():
+            return []
+        with open(path, encoding="utf-8") as handle:
+            return [json.loads(line) for line in handle if line.strip()]
 
     def ref(self, name: str) -> GraphRef:
         """An O(1) ref to a stored graph, from its metadata alone."""

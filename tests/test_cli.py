@@ -61,6 +61,49 @@ class TestSeedsCommand:
             main(["seeds", karate_file, "--algorithm", "nope"])
 
 
+class TestSeedsIncremental:
+    def _delta_file(self, tmp_path):
+        path = tmp_path / "delta.json"
+        path.write_text(json.dumps({"added": [[0, 5], [3, 9]], "removed": [[1, 2]]}))
+        return str(path)
+
+    def test_incremental_with_delta(self, karate_file, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        assert main([
+            "seeds", karate_file, "--incremental", "--k", "3",
+            "--snapshots", "4", "--seed", "7",
+            "--delta", self._delta_file(tmp_path),
+            "--journal", str(journal),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "incremental seeds" in out
+        assert "repaired seeds" in out
+        start = json.loads(journal.read_text().splitlines()[0])
+        assert start["event"] == "run_start"
+        assert start["incremental"] is True
+        assert start["kernel"] in ("python", "numpy")
+        assert start["shards"] > 0
+
+    def test_delta_requires_incremental(self, karate_file, tmp_path):
+        with pytest.raises(SystemExit, match="--incremental"):
+            main([
+                "seeds", karate_file, "--k", "3",
+                "--delta", self._delta_file(tmp_path),
+            ])
+
+    def test_kill_switch_wins_over_flag(
+        self, karate_file, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_INCREMENTAL", "off")
+        assert main([
+            "seeds", karate_file, "--incremental", "--k", "3",
+            "--snapshots", "4", "--seed", "7",
+            "--delta", self._delta_file(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "repaired=False" in out
+
+
 class TestOverlapCommand:
     def test_runs(self, karate_file, capsys):
         assert (
